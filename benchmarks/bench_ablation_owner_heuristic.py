@@ -1,0 +1,43 @@
+"""Ablation: Algorithm 1's odd/even owner heuristic vs alternatives.
+
+Compares how evenly the alignment tasks land on ranks under the odd/even rule
+(the paper's Algorithm 1), an always-min-RID rule, and a random-hash rule.
+"""
+
+from conftest import record_rows
+
+from repro.bench.reporting import format_table
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import DibellaPipeline
+from repro.mpisim.topology import Topology
+
+
+def _run(harness, heuristic):
+    dataset = harness.dataset("ecoli30x")
+    spec = dataset.spec
+    config = PipelineConfig(coverage_hint=spec.reads.coverage,
+                            error_rate_hint=spec.reads.error_rate,
+                            owner_heuristic=heuristic)
+    pipeline = DibellaPipeline(config=config, topology=Topology(n_nodes=8, ranks_per_node=1))
+    result = pipeline.run(dataset.reads)
+    tasks = [r.counters.get("alignments", 0) for r in result.rank_reports]
+    mean = sum(tasks) / len(tasks)
+    return {
+        "heuristic": heuristic,
+        "total_tasks": sum(tasks),
+        "task_imbalance": max(tasks) / mean if mean else 1.0,
+        "time_imbalance": result.load_imbalance("alignment"),
+    }
+
+
+def test_ablation_owner_heuristic(benchmark, harness):
+    rows = benchmark.pedantic(
+        lambda: [_run(harness, h) for h in ("oddeven", "min", "random")],
+        rounds=1, iterations=1)
+    record_rows("ablation_owner_heuristic", format_table(
+        rows, title="Ablation: task-owner heuristic (8 nodes, E. coli 30x one-seed)"))
+    by = {r["heuristic"]: r for r in rows}
+    # Every heuristic routes every task exactly once, and the paper's odd/even
+    # rule keeps the per-rank task counts close to balanced.
+    assert len({r["total_tasks"] for r in rows}) == 1
+    assert by["oddeven"]["task_imbalance"] < 1.5

@@ -1,0 +1,34 @@
+"""Ablation: seed-selection strategy (one-seed vs d=1000 vs d=k).
+
+Quantifies the alignment-work versus overlap-coverage trade-off of the
+"exploration" parameters described in the paper's overlap stage on the
+benchmark 30x workload.
+"""
+
+from conftest import record_rows
+
+from repro.bench.reporting import format_table
+
+
+def test_ablation_seed_strategy(benchmark, harness):
+    def run():
+        rows = []
+        for strategy in ("one-seed", "d=1000", "d=k"):
+            result = harness.run("ecoli30x", strategy, n_nodes=1)
+            rows.append({
+                "strategy": strategy,
+                "overlap_pairs": result.n_overlap_pairs,
+                "alignments": result.n_alignments,
+                "dp_cells": result.counters["dp_cells"],
+                "alignments_per_pair": result.n_alignments / max(1, result.n_overlap_pairs),
+            })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_rows("ablation_seed_strategy", format_table(
+        rows, title="Ablation: seed-selection strategy (E. coli 30x, 1 node)"))
+    by = {r["strategy"]: r for r in rows}
+    # The pair set is strategy-independent; the alignment work is not.
+    assert by["one-seed"]["overlap_pairs"] == by["d=k"]["overlap_pairs"]
+    assert by["one-seed"]["alignments"] <= by["d=1000"]["alignments"] <= by["d=k"]["alignments"]
+    assert by["d=k"]["dp_cells"] > by["one-seed"]["dp_cells"]

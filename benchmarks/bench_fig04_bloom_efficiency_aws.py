@@ -1,0 +1,21 @@
+"""Figure 4: Bloom-filter stage efficiency breakdown on AWS."""
+
+from conftest import SCALING_NODES, record_rows
+
+from repro.bench.experiments import figure4_bloom_efficiency_aws
+from repro.bench.reporting import format_table
+
+
+def test_fig04_bloom_efficiency_aws(benchmark, harness):
+    rows = benchmark.pedantic(figure4_bloom_efficiency_aws, args=(harness, SCALING_NODES),
+                              rounds=1, iterations=1)
+    record_rows("fig04_bloom_efficiency_aws", format_table(
+        rows, columns=["nodes", "local_processing_efficiency", "packing_efficiency",
+                       "exchange_efficiency", "overall_efficiency"],
+        title="Figure 4: Bloom-filter efficiency on AWS (relative to 1 node)"))
+    last = max(rows, key=lambda r: r["nodes"])
+    # Expected shape: exchange efficiency collapses and drags the overall
+    # efficiency below the local-processing efficiency (the paper's Figure 4).
+    assert last["exchange_efficiency"] < 0.5
+    assert last["exchange_efficiency"] < last["local_processing_efficiency"]
+    assert last["overall_efficiency"] <= last["local_processing_efficiency"]

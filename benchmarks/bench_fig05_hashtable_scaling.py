@@ -1,0 +1,19 @@
+"""Figure 5: hashtable stage strong scaling (M k-mers/s) across platforms."""
+
+from conftest import SCALING_NODES, record_rows
+
+from repro.bench.experiments import figure5_hashtable_scaling
+from repro.bench.reporting import format_series
+
+
+def test_fig05_hashtable_scaling(benchmark, harness):
+    rows = benchmark.pedantic(figure5_hashtable_scaling, args=(harness, SCALING_NODES),
+                              rounds=1, iterations=1)
+    record_rows("fig05_hashtable_scaling", format_series(
+        rows, x="nodes", y="throughput_millions_per_sec", group="platform",
+        title="Figure 5: hashtable stage throughput (M k-mers/s)"))
+    cori = sorted((r for r in rows if r["platform"] == "cori"), key=lambda r: r["nodes"])
+    titan = sorted((r for r in rows if r["platform"] == "titan"), key=lambda r: r["nodes"])
+    # Expected shape: throughput grows with node count and Cori leads Titan.
+    assert cori[-1]["throughput_millions_per_sec"] > cori[0]["throughput_millions_per_sec"]
+    assert cori[0]["throughput_millions_per_sec"] > titan[0]["throughput_millions_per_sec"]

@@ -1,0 +1,20 @@
+"""Figure 8: alignment-stage load imbalance across platforms and node counts."""
+
+from conftest import SCALING_NODES, record_rows
+
+from repro.bench.experiments import figure8_load_imbalance
+from repro.bench.reporting import format_series
+
+
+def test_fig08_load_imbalance(benchmark, harness):
+    rows = benchmark.pedantic(figure8_load_imbalance, args=(harness, SCALING_NODES),
+                              rounds=1, iterations=1)
+    record_rows("fig08_load_imbalance", format_series(
+        rows, x="nodes", y="load_imbalance", group="platform",
+        title="Figure 8: alignment-stage load imbalance (1.0 = perfect)"))
+    cori = sorted((r for r in rows if r["platform"] == "cori"), key=lambda r: r["nodes"])
+    # Expected shape: imbalance is modest at small scale and grows with node
+    # count, while task-count imbalance stays tiny (the paper's observation).
+    assert all(1.0 <= r["load_imbalance"] < 2.5 for r in rows)
+    assert cori[-1]["load_imbalance"] >= cori[0]["load_imbalance"]
+    assert all(r["task_count_imbalance"] < 1.7 for r in rows)

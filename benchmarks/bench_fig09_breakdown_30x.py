@@ -1,0 +1,20 @@
+"""Figure 9: runtime breakdown by stage on Cori, E. coli 30x one-seed."""
+
+from conftest import SCALING_NODES, record_rows
+
+from repro.bench.experiments import figure9_breakdown_30x
+from repro.bench.reporting import format_table
+
+
+def test_fig09_breakdown_30x(benchmark, harness):
+    rows = benchmark.pedantic(figure9_breakdown_30x, args=(harness, SCALING_NODES),
+                              rounds=1, iterations=1)
+    record_rows("fig09_breakdown_30x", format_table(
+        rows, columns=["nodes", "stage", "compute_pct", "exchange_pct"],
+        title="Figure 9: runtime breakdown on Cori, E. coli 30x one-seed (percent)"))
+    first = min(r["nodes"] for r in rows)
+    last = max(r["nodes"] for r in rows)
+    exchange_share = {n: sum(r["exchange_pct"] for r in rows if r["nodes"] == n)
+                      for n in (first, last)}
+    # Expected shape: the exchange share of the runtime grows with node count.
+    assert exchange_share[last] > exchange_share[first]

@@ -1,0 +1,21 @@
+"""Figure 10: runtime breakdown by stage on Cori, E. coli 100x, seeds >= 1 kbp apart."""
+
+from conftest import REDUCED_NODES, record_rows
+
+from repro.bench.experiments import figure10_breakdown_100x
+from repro.bench.reporting import format_table
+
+
+def test_fig10_breakdown_100x(benchmark, harness):
+    rows = benchmark.pedantic(figure10_breakdown_100x, args=(harness, REDUCED_NODES),
+                              rounds=1, iterations=1)
+    record_rows("fig10_breakdown_100x", format_table(
+        rows, columns=["nodes", "stage", "compute_pct", "exchange_pct"],
+        title="Figure 10: runtime breakdown on Cori, E. coli 100x all seeds d>=1000 (percent)"))
+    # Expected shape: at this higher computational intensity the alignment
+    # stage dominates the runtime at every node count (the paper's Figure 10).
+    for n in {r["nodes"] for r in rows}:
+        align = next(r for r in rows if r["nodes"] == n and r["stage"] == "alignment")
+        others = [r for r in rows if r["nodes"] == n and r["stage"] != "alignment"]
+        assert align["compute_pct"] + align["exchange_pct"] > max(
+            o["compute_pct"] + o["exchange_pct"] for o in others)

@@ -1,0 +1,20 @@
+"""Figure 11: overall efficiency on Cori across workloads and seed settings."""
+
+from conftest import REDUCED_NODES, record_rows
+
+from repro.bench.experiments import figure11_overall_efficiency
+from repro.bench.reporting import format_table
+
+
+def test_fig11_overall_efficiency(benchmark, harness):
+    rows = benchmark.pedantic(figure11_overall_efficiency, args=(harness, REDUCED_NODES),
+                              rounds=1, iterations=1)
+    record_rows("fig11_overall_efficiency", format_table(
+        rows, columns=["workload", "strategy", "nodes", "overall_efficiency"],
+        title="Figure 11: overall efficiency on Cori (2 data sets x 3 seed settings)"))
+    largest = max(r["nodes"] for r in rows)
+    eff = {(r["workload"], r["strategy"]): r["overall_efficiency"]
+           for r in rows if r["nodes"] == largest}
+    # Expected shape: higher computational intensity (100x, more seeds) holds
+    # efficiency better than the minimal-intensity 30x one-seed workload.
+    assert eff[("ecoli100x", "d=k")] > eff[("ecoli30x", "one-seed")]

@@ -1,0 +1,25 @@
+"""Figure 13: end-to-end pipeline performance (M alignments/s) across platforms."""
+
+from conftest import SCALING_NODES, record_rows
+
+from repro.bench.experiments import figure13_pipeline_performance
+from repro.bench.reporting import format_series
+
+
+def test_fig13_pipeline_performance(benchmark, harness):
+    rows = benchmark.pedantic(figure13_pipeline_performance, args=(harness, SCALING_NODES),
+                              rounds=1, iterations=1)
+    record_rows("fig13_pipeline_performance", format_series(
+        rows, x="nodes", y="alignments_per_sec_millions", group="platform",
+        title="Figure 13: diBELLA end-to-end throughput (M alignments/s)"))
+    largest = max(r["nodes"] for r in rows)
+    last = {r["platform"]: r["alignments_per_sec_millions"]
+            for r in rows if r["nodes"] == largest}
+    # Expected shape: every platform gains from multi-node parallelism and the
+    # HPC systems beat the commodity cloud, with Cori fastest overall.
+    first = {r["platform"]: r["alignments_per_sec_millions"]
+             for r in rows if r["nodes"] == 1}
+    for platform in last:
+        assert last[platform] > first[platform]
+    assert last["cori"] == max(last.values())
+    assert last["aws"] == min(last.values())

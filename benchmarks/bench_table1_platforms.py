@@ -1,0 +1,13 @@
+"""Table 1: the evaluated platforms and their balance points."""
+
+from conftest import record_rows
+
+from repro.bench.experiments import table1_platforms
+from repro.bench.reporting import format_table
+
+
+def test_table1_platforms(benchmark):
+    rows = benchmark.pedantic(table1_platforms, rounds=1, iterations=1)
+    record_rows("table1_platforms",
+                format_table(rows, title="Table 1: evaluated platforms"))
+    assert [r["platform"] for r in rows] == ["cori", "edison", "titan", "aws"]

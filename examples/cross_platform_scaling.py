@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Cross-platform strong-scaling study (the paper's Figures 3-13 in miniature).
+
+Runs the full pipeline on a scaled-down E. coli 30x-like workload at several
+simulated node counts, records the machine-independent work and traffic
+counters, and projects them onto the four platforms of Table 1 (Cori,
+Edison, Titan, AWS).  Prints:
+
+* per-stage throughput by platform and node count (Figures 3, 5, 6, 7),
+* the runtime breakdown by stage on Cori (Figure 9),
+* overall and exchange efficiency per platform (Figure 12),
+* end-to-end throughput per platform (Figure 13).
+
+Run with::
+
+    python examples/cross_platform_scaling.py [max_nodes]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.harness import ExperimentHarness
+from repro.bench.experiments import (
+    figure3_bloom_scaling,
+    figure9_breakdown_30x,
+    figure12_exchange_efficiency,
+    figure13_pipeline_performance,
+)
+from repro.bench.reporting import format_series, format_table
+
+
+def main() -> None:
+    max_nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    nodes = tuple(n for n in (1, 2, 4, 8, 16, 32) if n <= max_nodes)
+    harness = ExperimentHarness()
+
+    print(f"running the pipeline at node counts {nodes} "
+          f"(simulated; this takes a few minutes)...\n")
+
+    rows = figure3_bloom_scaling(harness, nodes=nodes)
+    print(format_series(rows, x="nodes", y="throughput_millions_per_sec",
+                        group="platform",
+                        title="Bloom-filter stage throughput (M k-mers/s)  [Figure 3]"))
+    print()
+
+    rows = figure13_pipeline_performance(harness, nodes=nodes)
+    print(format_series(rows, x="nodes", y="alignments_per_sec_millions",
+                        group="platform",
+                        title="End-to-end throughput (M alignments/s)  [Figure 13]"))
+    print()
+
+    rows = figure12_exchange_efficiency(harness, nodes=nodes)
+    print(format_series(rows, x="nodes", y="overall_efficiency", group="platform",
+                        title="Overall efficiency vs 1 node  [Figure 12, solid]"))
+    print(format_series(rows, x="nodes", y="exchange_efficiency", group="platform",
+                        title="Exchange efficiency vs 1 node  [Figure 12, dashed]"))
+    print()
+
+    rows = figure9_breakdown_30x(harness, nodes=nodes)
+    print(format_table(rows,
+                       columns=["nodes", "stage", "compute_pct", "exchange_pct"],
+                       title="Runtime breakdown on Cori (percent of total)  [Figure 9]"))
+
+
+if __name__ == "__main__":
+    main()

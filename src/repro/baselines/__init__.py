@@ -1,0 +1,18 @@
+"""Baseline overlappers used for comparison and as correctness oracles.
+
+* :mod:`repro.baselines.daligner` — a DALIGNER-style block sort-merge
+  overlapper (Myers 2014): the single-node comparator of the paper's
+  Table 2.
+* :mod:`repro.baselines.bruteforce` — exhaustive all-pairs overlap detection
+  on (small) read sets, the correctness oracle for the seed-based detectors.
+"""
+
+from repro.baselines.daligner import DalignerLikeOverlapper, DalignerConfig
+from repro.baselines.bruteforce import brute_force_overlaps, brute_force_alignments
+
+__all__ = [
+    "DalignerLikeOverlapper",
+    "DalignerConfig",
+    "brute_force_overlaps",
+    "brute_force_alignments",
+]

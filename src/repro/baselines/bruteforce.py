@@ -1,0 +1,70 @@
+"""Brute-force all-pairs overlap detection (correctness oracle).
+
+"Done naively, set alignment requires O(|S|·|T|·L²) operations ... which
+becomes intractable for large data sets" (§2) — which is exactly why it is
+only used here as an oracle on small read sets: it aligns every pair of
+reads with the exact Smith–Waterman kernel (both strands) and reports the
+pairs whose score clears a threshold, with no k-mer filtering that could
+miss anything.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.align.results import AlignmentResult
+from repro.align.scoring import ScoringScheme
+from repro.align.smith_waterman import smith_waterman
+from repro.seq.alphabet import reverse_complement
+from repro.seq.records import ReadSet
+
+
+def brute_force_alignments(
+    reads: ReadSet,
+    min_score: int = 50,
+    scoring: ScoringScheme | None = None,
+    max_reads: int = 100,
+    both_strands: bool = True,
+) -> dict[tuple[int, int], AlignmentResult]:
+    """Align every pair of reads exactly; return the pairs scoring >= min_score.
+
+    Refuses read sets larger than *max_reads* — the quadratic cost is the
+    whole point of not doing this at scale.  With ``both_strands`` the second
+    read is also tried reverse-complemented (simulated reads come from either
+    strand) and the better of the two alignments is kept.
+    """
+    if len(reads) > max_reads:
+        raise ValueError(
+            f"brute force is quadratic; refusing {len(reads)} reads (max {max_reads})"
+        )
+    scoring = scoring or ScoringScheme()
+    results: dict[tuple[int, int], AlignmentResult] = {}
+    revcomp_cache = {
+        rid: reverse_complement(reads[rid].sequence) for rid in range(len(reads))
+    } if both_strands else {}
+    for rid_a, rid_b in combinations(range(len(reads)), 2):
+        seq_a = reads[rid_a].sequence
+        best = smith_waterman(seq_a, reads[rid_b].sequence, scoring=scoring)
+        if both_strands:
+            rc = smith_waterman(seq_a, revcomp_cache[rid_b], scoring=scoring)
+            if rc.score > best.score:
+                best = rc
+        if best.score >= min_score:
+            results[(rid_a, rid_b)] = best
+    return results
+
+
+def brute_force_overlaps(
+    reads: ReadSet,
+    min_score: int = 50,
+    scoring: ScoringScheme | None = None,
+    max_reads: int = 100,
+    both_strands: bool = True,
+) -> set[tuple[int, int]]:
+    """The overlapping pair set according to the brute-force aligner."""
+    return set(
+        brute_force_alignments(
+            reads, min_score=min_score, scoring=scoring, max_reads=max_reads,
+            both_strands=both_strands,
+        )
+    )

@@ -1,0 +1,163 @@
+"""Command-line interface: ``dibella``.
+
+Subcommands
+-----------
+``simulate``
+    Generate a synthetic PacBio-like data set and write it as FASTQ.
+``run``
+    Run the overlap + alignment pipeline on a FASTQ file (or a named
+    synthetic preset) and print the run summary; optionally write the
+    detected overlaps to a TSV file.
+``experiment``
+    Regenerate one of the paper's tables/figures and print its rows.
+``platforms``
+    Print the Table 1 platform registry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bench import experiments as exp
+from repro.bench.reporting import format_table
+from repro.core.config import PipelineConfig
+from repro.core.driver import run_dibella
+from repro.data.datasets import (
+    ecoli100x_like,
+    ecoli30x_like,
+    generate_dataset,
+    tiny_dataset,
+)
+from repro.io.fastq import read_fastq, write_fastq
+from repro.overlap.seeds import SeedStrategy
+from repro.seq.kmer import KmerSpec
+
+_PRESETS = {
+    "tiny": tiny_dataset,
+    "ecoli30x": ecoli30x_like,
+    "ecoli100x": ecoli100x_like,
+}
+
+_EXPERIMENTS = {
+    "table1": exp.table1_platforms,
+    "fig3": exp.figure3_bloom_scaling,
+    "fig4": exp.figure4_bloom_efficiency_aws,
+    "fig5": exp.figure5_hashtable_scaling,
+    "fig6": exp.figure6_overlap_scaling,
+    "fig7": exp.figure7_alignment_scaling,
+    "fig8": exp.figure8_load_imbalance,
+    "fig9": exp.figure9_breakdown_30x,
+    "fig10": exp.figure10_breakdown_100x,
+    "fig11": exp.figure11_overall_efficiency,
+    "fig12": exp.figure12_exchange_efficiency,
+    "fig13": exp.figure13_pipeline_performance,
+    "table2": exp.table2_single_node,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dibella",
+        description="diBELLA reproduction: distributed long-read overlap and alignment",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="generate a synthetic data set as FASTQ")
+    sim.add_argument("--preset", choices=sorted(_PRESETS), default="tiny")
+    sim.add_argument("--scale", type=float, default=0.01,
+                     help="genome scale factor for the E. coli presets")
+    sim.add_argument("--output", required=True, help="output FASTQ path")
+
+    run = sub.add_parser("run", help="run the overlap+alignment pipeline")
+    run.add_argument("--input", help="input FASTQ file (omit to use --preset)")
+    run.add_argument("--preset", choices=sorted(_PRESETS), default="tiny")
+    run.add_argument("--scale", type=float, default=0.01)
+    run.add_argument("-k", type=int, default=17, help="k-mer length")
+    run.add_argument("--nodes", type=int, default=1, help="simulated node count")
+    run.add_argument("--ranks-per-node", type=int, default=2)
+    run.add_argument("--seed-strategy", choices=["one", "d1000", "dk"], default="one")
+    run.add_argument("--overlaps-out", help="write detected overlaps to this TSV file")
+
+    ex = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    ex.add_argument("name", choices=sorted(_EXPERIMENTS))
+
+    sub.add_parser("platforms", help="print the Table 1 platform registry")
+    return parser
+
+
+def _resolve_strategy(name: str, k: int) -> SeedStrategy:
+    if name == "one":
+        return SeedStrategy.one_seed()
+    if name == "d1000":
+        return SeedStrategy.separated_by(1000)
+    return SeedStrategy.separated_by(k)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    factory = _PRESETS[args.preset]
+    spec = factory() if args.preset == "tiny" else factory(scale=args.scale)
+    dataset = generate_dataset(spec)
+    count = write_fastq(dataset.reads, Path(args.output))
+    print(f"wrote {count} reads ({dataset.reads.total_bases} bases) to {args.output}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.input:
+        reads = read_fastq(args.input)
+        source = args.input
+    else:
+        factory = _PRESETS[args.preset]
+        spec = factory() if args.preset == "tiny" else factory(scale=args.scale)
+        reads = generate_dataset(spec).reads
+        source = spec.name
+    config = PipelineConfig(
+        kmer=KmerSpec(k=args.k),
+        seed_strategy=_resolve_strategy(args.seed_strategy, args.k),
+    )
+    result = run_dibella(reads, config=config, n_nodes=args.nodes,
+                         ranks_per_node=args.ranks_per_node)
+    print(f"input: {source} ({len(reads)} reads, {reads.total_bases} bases)")
+    for key, value in result.summary().items():
+        print(f"  {key}: {value}")
+    if args.overlaps_out:
+        table = result.alignment_table()
+        with open(args.overlaps_out, "w", encoding="ascii") as fh:
+            fh.write("rid_a\trid_b\tscore\tspan_a\tspan_b\n")
+            for ra, rb, score, sa, sb in zip(
+                table["rid_a"], table["rid_b"], table["score"],
+                table["span_a"], table["span_b"],
+            ):
+                fh.write(f"{ra}\t{rb}\t{score}\t{sa}\t{sb}\n")
+        print(f"wrote {table['rid_a'].size} alignments to {args.overlaps_out}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    rows = _EXPERIMENTS[args.name]()
+    print(format_table(rows, title=f"Experiment {args.name}"))
+    return 0
+
+
+def _cmd_platforms(_args: argparse.Namespace) -> int:
+    print(format_table(exp.table1_platforms(), title="Table 1: evaluated platforms"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "simulate": _cmd_simulate,
+        "run": _cmd_run,
+        "experiment": _cmd_experiment,
+        "platforms": _cmd_platforms,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""The diBELLA pipeline: configuration, stages, orchestration and results.
+
+This is the paper's primary contribution — the four-stage distributed
+overlap-and-alignment pipeline (§4):
+
+1. Bloom-filter construction (singleton elimination, §6),
+2. hash-table construction (k-mer → read id/position lists, §7),
+3. overlap detection (Algorithm 1, §8),
+4. read exchange and pairwise alignment (§9).
+
+The public entry point is :func:`repro.core.driver.run_dibella`, which takes
+a :class:`~repro.seq.records.ReadSet` and a
+:class:`~repro.core.config.PipelineConfig`, runs the SPMD pipeline over the
+simulated runtime, and returns a :class:`~repro.core.result.PipelineResult`
+with the overlaps, the alignments, per-stage work counters and the
+communication trace needed for the cross-platform performance projection.
+"""
+
+from repro.core.config import PipelineConfig
+from repro.core.result import PipelineResult, StageRecord, RankReport
+from repro.core.driver import run_dibella
+from repro.core.pipeline import DibellaPipeline
+
+__all__ = [
+    "PipelineConfig",
+    "PipelineResult",
+    "StageRecord",
+    "RankReport",
+    "run_dibella",
+    "DibellaPipeline",
+]

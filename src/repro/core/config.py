@@ -1,0 +1,114 @@
+"""Pipeline configuration.
+
+Collects every runtime parameter of the diBELLA pipeline in one frozen
+dataclass: the k-mer analysis parameters (§2), the streaming/memory bound
+(§4: "diBELLA executes in a streaming fashion with a subset of input data at
+a time"), the seed-selection constraints (§5, §8), the alignment kernel
+settings (§9), and the layout/heuristic knobs exercised by the ablation
+benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.align.scoring import ScoringScheme
+from repro.kmers.reliable import high_frequency_threshold
+from repro.overlap.seeds import SeedStrategy
+from repro.seq.kmer import KmerSpec
+from repro.seq.records import ReadSet
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """All runtime parameters of a diBELLA run.
+
+    Attributes
+    ----------
+    kmer:
+        k-mer length and canonicalisation (defaults to 17-mers, §2).
+    min_kmer_count:
+        Lower bound of the reliable range — k-mers below it are singletons
+        and dropped (always 2 in the paper).
+    high_freq_threshold:
+        Upper bound m of the reliable range; ``None`` means "compute it from
+        the data characteristics with the BELLA model" (needs the coverage
+        and error-rate hints).
+    coverage_hint / error_rate_hint:
+        Data-set characteristics used to compute m when it is not given
+        explicitly.
+    bloom_fp_rate:
+        Target false-positive rate when sizing each rank's Bloom-filter
+        partition.
+    batch_reads:
+        Number of local reads parsed per streaming superstep in stages 1-2 —
+        the memory-bounding knob of §4.  All ranks execute the same number
+        of supersteps (the maximum over ranks), padding with empty exchanges.
+    seed_strategy:
+        Which shared seeds to align per overlapping pair (§5's one-seed /
+        1 kbp separation / k separation settings).
+    kernel / xdrop / band / scoring / min_alignment_score:
+        Alignment-stage kernel configuration (§9).
+    partition_strategy:
+        How input reads are split across ranks (``"size"`` reproduces the
+        paper's byte-balanced blocks).
+    owner_heuristic:
+        Task-owner rule in the overlap stage (``"oddeven"`` is Algorithm 1;
+        ``"min"`` and ``"random"`` are ablation alternatives).
+    """
+
+    kmer: KmerSpec = field(default_factory=lambda: KmerSpec(k=17))
+    min_kmer_count: int = 2
+    high_freq_threshold: int | None = None
+    coverage_hint: float | None = None
+    error_rate_hint: float | None = None
+    bloom_fp_rate: float = 0.05
+    batch_reads: int = 2048
+    seed_strategy: SeedStrategy = field(default_factory=SeedStrategy.one_seed)
+    kernel: str = "xdrop"
+    xdrop: int = 25
+    band: int = 64
+    scoring: ScoringScheme = field(default_factory=ScoringScheme)
+    min_alignment_score: int = 0
+    partition_strategy: str = "size"
+    owner_heuristic: str = "oddeven"
+
+    def __post_init__(self) -> None:
+        if self.min_kmer_count < 1:
+            raise ValueError("min_kmer_count must be >= 1")
+        if self.high_freq_threshold is not None and self.high_freq_threshold < self.min_kmer_count:
+            raise ValueError("high_freq_threshold must be >= min_kmer_count")
+        if not (0.0 < self.bloom_fp_rate < 1.0):
+            raise ValueError("bloom_fp_rate must be in (0, 1)")
+        if self.batch_reads < 1:
+            raise ValueError("batch_reads must be >= 1")
+        if self.kernel not in ("xdrop", "banded", "full"):
+            raise ValueError(f"unknown kernel {self.kernel!r}")
+        if self.partition_strategy not in ("size", "round_robin"):
+            raise ValueError(f"unknown partition strategy {self.partition_strategy!r}")
+        if self.owner_heuristic not in ("oddeven", "min", "random"):
+            raise ValueError(f"unknown owner heuristic {self.owner_heuristic!r}")
+
+    # -- derived parameters ---------------------------------------------------
+
+    def resolve_high_freq_threshold(self, readset: ReadSet | None = None) -> int:
+        """The high-occurrence cutoff m actually used for a run.
+
+        If ``high_freq_threshold`` is set, return it.  Otherwise compute it
+        with the BELLA model from the coverage and error-rate hints; missing
+        hints fall back to conservative long-read defaults (coverage 30,
+        error 0.12), which keeps small test runs working without hints.
+        """
+        if self.high_freq_threshold is not None:
+            return self.high_freq_threshold
+        coverage = self.coverage_hint if self.coverage_hint is not None else 30.0
+        error_rate = self.error_rate_hint if self.error_rate_hint is not None else 0.12
+        return high_frequency_threshold(coverage, error_rate, self.kmer.k)
+
+    def with_seed_strategy(self, strategy: SeedStrategy) -> "PipelineConfig":
+        """Copy of this config with a different seed strategy (bench helper)."""
+        return replace(self, seed_strategy=strategy)
+
+    def with_kernel(self, kernel: str) -> "PipelineConfig":
+        """Copy of this config with a different alignment kernel (bench helper)."""
+        return replace(self, kernel=kernel)

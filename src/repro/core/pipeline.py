@@ -1,0 +1,127 @@
+"""Pipeline orchestration: partition, launch the SPMD program, assemble results."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.config import PipelineConfig
+from repro.core.result import PipelineResult, RankReport, StageRecord, STAGE_NAMES
+from repro.core.stages import run_rank_pipeline
+from repro.io.partition import partition_reads
+from repro.mpisim.runtime import spmd_run
+from repro.mpisim.topology import Topology
+from repro.mpisim.tracing import CommTrace
+from repro.seq.records import ReadSet
+
+#: Stage name -> (work unit for the cost model, exchange phase label).
+_STAGE_METADATA: dict[str, tuple[str, str]] = {
+    "bloom": ("kmers_bloom", "bloom_exchange"),
+    "hashtable": ("kmers_hashtable", "hashtable_exchange"),
+    "overlap": ("retained_kmers", "overlap_exchange"),
+    "alignment": ("dp_cells", "alignment_exchange"),
+}
+
+#: Stage name -> counter providing the stage's "throughput items".
+_STAGE_ITEM_COUNTER: dict[str, str] = {
+    "bloom": "kmers_received_bloom",
+    "hashtable": "kmers_received_hashtable",
+    "overlap": "retained_kmers",
+    "alignment": "alignments",
+}
+
+
+class DibellaPipeline:
+    """The diBELLA distributed overlap-and-alignment pipeline.
+
+    Parameters
+    ----------
+    config:
+        Runtime parameters (see :class:`~repro.core.config.PipelineConfig`).
+    topology:
+        Simulated node/rank layout.  The number of simulated ranks bounds the
+        thread count; the projection onto real platforms uses the node count
+        plus the platform's own cores-per-node.
+    """
+
+    def __init__(self, config: PipelineConfig | None = None,
+                 topology: Topology | None = None):
+        self.config = config or PipelineConfig()
+        self.topology = topology or Topology.single_node(4)
+
+    def run(self, readset: ReadSet) -> PipelineResult:
+        """Run the full pipeline on *readset* and return the assembled result."""
+        if len(readset) == 0:
+            raise ValueError("cannot run the pipeline on an empty read set")
+        config = self.config
+        topology = self.topology
+        n_ranks = topology.n_ranks
+
+        assignments = partition_reads(readset, n_ranks, strategy=config.partition_strategy)
+        high_freq_threshold = config.resolve_high_freq_threshold(readset)
+        trace = CommTrace(n_ranks)
+
+        start = time.perf_counter()
+        reports: list[RankReport] = spmd_run(
+            n_ranks,
+            run_rank_pipeline,
+            readset,
+            assignments,
+            config,
+            high_freq_threshold,
+            topology=topology,
+            trace=trace,
+        )
+        wall_seconds = time.perf_counter() - start
+
+        stages = self._build_stage_records(reports, n_ranks)
+        counters = self._aggregate_counters(reports)
+        counters["input_kmers"] = counters.get("kmers_parsed", 0)
+        counters["high_freq_threshold"] = high_freq_threshold
+
+        return PipelineResult(
+            config=config,
+            topology=topology,
+            trace=trace,
+            stages=stages,
+            rank_reports=reports,
+            counters=counters,
+            wall_seconds=wall_seconds,
+        )
+
+    # -- assembly helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _build_stage_records(reports: list[RankReport], n_ranks: int) -> list[StageRecord]:
+        records: list[StageRecord] = []
+        for stage in STAGE_NAMES:
+            work_unit, exchange_phase = _STAGE_METADATA[stage]
+            item_counter = _STAGE_ITEM_COUNTER[stage]
+            work = np.array([r.stage_work.get(stage, 0.0) for r in reports])
+            local_bytes = np.array([r.stage_bytes.get(stage, 0.0) for r in reports])
+            compute = np.array([r.stage_compute_seconds.get(stage, 0.0) for r in reports])
+            exchange = np.array([r.stage_exchange_seconds.get(stage, 0.0) for r in reports])
+            items = int(sum(r.counters.get(item_counter, 0) for r in reports))
+            records.append(
+                StageRecord(
+                    name=stage,
+                    items=items,
+                    work_unit=work_unit,
+                    work_per_rank=work,
+                    local_bytes_per_rank=local_bytes,
+                    exchange_phases=[exchange_phase],
+                    includes_first_alltoallv=(stage == "bloom"),
+                    wall_compute_seconds=compute,
+                    wall_exchange_seconds=exchange,
+                )
+            )
+        return records
+
+    @staticmethod
+    def _aggregate_counters(reports: list[RankReport]) -> dict[str, int]:
+        counters: dict[str, int] = {}
+        for report in reports:
+            for key, value in report.counters.items():
+                counters[key] = counters.get(key, 0) + int(value)
+        return counters

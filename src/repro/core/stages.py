@@ -1,0 +1,452 @@
+"""The four pipeline stages as per-rank SPMD functions.
+
+``run_rank_pipeline`` is the program every simulated rank executes (the body
+of the SPMD job an MPI implementation would run on every process).  Each
+stage follows the structure of §§6-9 of the paper:
+
+* parse / compute locally,
+* pack per-destination buffers,
+* exchange with ``alltoallv``,
+* process the received data.
+
+Wall time is measured separately for the compute and exchange parts of every
+stage (the paper's runtime-breakdown figures), and each stage accumulates the
+machine-independent work counters the performance model projects onto the
+Table 1 platforms.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.align.batch import AlignmentTask, BatchAligner
+from repro.core.config import PipelineConfig
+from repro.core.result import RankReport
+from repro.kmers.bloom import BloomFilter
+from repro.kmers.hashing import owner_of
+from repro.kmers.hashtable import KmerHashTablePartition, RetainedKmers
+from repro.mpisim.collectives import bucket_by_destination
+from repro.mpisim.communicator import SimCommunicator
+from repro.overlap.pairs import (
+    OverlapRecord,
+    PairBatch,
+    choose_owner,
+    consolidate_pairs,
+    generate_pairs,
+)
+from repro.overlap.seeds import select_seeds
+from repro.seq.kmer import extract_kmer_codes, extract_kmers_with_strand
+from repro.seq.records import ReadSet
+
+
+@dataclass
+class _StageTimer:
+    """Accumulates compute vs exchange wall time for one stage on one rank."""
+
+    compute_seconds: float = 0.0
+    exchange_seconds: float = 0.0
+
+    class _Section:
+        def __init__(self, timer: "_StageTimer", attr: str):
+            self._timer = timer
+            self._attr = attr
+            self._start = 0.0
+
+        def __enter__(self) -> "_StageTimer._Section":
+            self._start = time.perf_counter()
+            return self
+
+        def __exit__(self, *exc_info: object) -> None:
+            elapsed = time.perf_counter() - self._start
+            setattr(self._timer, self._attr,
+                    getattr(self._timer, self._attr) + elapsed)
+
+    def compute(self) -> "_StageTimer._Section":
+        """Context manager timing a local-compute section."""
+        return self._Section(self, "compute_seconds")
+
+    def exchange(self) -> "_StageTimer._Section":
+        """Context manager timing a communication section."""
+        return self._Section(self, "exchange_seconds")
+
+
+@dataclass
+class _RankState:
+    """Mutable per-rank state threaded through the stages."""
+
+    config: PipelineConfig
+    readset: ReadSet
+    local_rids: list[int]
+    read_owner: np.ndarray
+    high_freq_threshold: int
+    hashtable: KmerHashTablePartition = field(default_factory=KmerHashTablePartition)
+    retained: RetainedKmers | None = None
+    overlaps: list[OverlapRecord] = field(default_factory=list)
+    tasks: list[AlignmentTask] = field(default_factory=list)
+    timers: dict[str, _StageTimer] = field(default_factory=dict)
+    work: dict[str, float] = field(default_factory=dict)
+    local_bytes: dict[str, float] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+
+    def timer(self, stage: str) -> _StageTimer:
+        return self.timers.setdefault(stage, _StageTimer())
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+def _local_batches(local_rids: list[int], batch_reads: int) -> list[list[int]]:
+    """Split this rank's RIDs into streaming batches of at most batch_reads."""
+    return [local_rids[i : i + batch_reads] for i in range(0, len(local_rids), batch_reads)]
+
+
+def _global_batch_count(comm: SimCommunicator, n_local_batches: int) -> int:
+    """Every rank must run the same number of supersteps (max over ranks)."""
+    return int(comm.allreduce(n_local_batches, op="max"))
+
+
+def _extract_batch_kmers(
+    readset: ReadSet, rids: list[int], config: PipelineConfig, with_positions: bool
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Extract k-mers (and optionally RIDs/positions/strands) from a batch of reads."""
+    code_chunks: list[np.ndarray] = []
+    rid_chunks: list[np.ndarray] = []
+    pos_chunks: list[np.ndarray] = []
+    strand_chunks: list[np.ndarray] = []
+    for rid in rids:
+        sequence = readset[rid].sequence
+        if with_positions:
+            codes, positions, strands = extract_kmers_with_strand(sequence, config.kmer)
+            pos_chunks.append(positions)
+            strand_chunks.append(strands)
+            rid_chunks.append(np.full(codes.size, rid, dtype=np.int64))
+        else:
+            codes = extract_kmer_codes(sequence, config.kmer)
+        code_chunks.append(codes)
+    if not code_chunks:
+        empty64 = np.empty(0, dtype=np.uint64)
+        empty_i = np.empty(0, dtype=np.int64)
+        return empty64, empty_i, empty_i, np.empty(0, dtype=bool)
+    codes = np.concatenate(code_chunks)
+    if with_positions:
+        return (codes, np.concatenate(rid_chunks), np.concatenate(pos_chunks),
+                np.concatenate(strand_chunks))
+    return (codes, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=bool))
+
+
+# ---------------------------------------------------------------------------
+# Stage 1: Bloom-filter construction (§6)
+# ---------------------------------------------------------------------------
+
+def bloom_filter_stage(comm: SimCommunicator, state: _RankState) -> None:
+    """Stage 1: route every k-mer to its owner, build the Bloom filter partition.
+
+    k-mers the filter has already (probably) seen are promoted to hash-table
+    candidate keys — "if a k-mer was already present, it is also inserted
+    into the local hash table partition" (§6).
+    """
+    config = state.config
+    timer = state.timer("bloom")
+    comm.set_phase("bloom_exchange")
+
+    batches = _local_batches(state.local_rids, config.batch_reads)
+    n_supersteps = _global_batch_count(comm, len(batches))
+
+    total_kmers = state.readset.total_kmers(config.kmer.k)
+    expected_per_rank = max(1024, total_kmers // comm.size)
+    bloom = BloomFilter.for_expected_items(expected_per_rank, fp_rate=config.bloom_fp_rate)
+
+    kmers_parsed = 0
+    kmers_received = 0
+
+    for step in range(n_supersteps):
+        rids = batches[step] if step < len(batches) else []
+        with timer.compute():
+            codes, _, _, _ = _extract_batch_kmers(state.readset, rids, config, with_positions=False)
+            kmers_parsed += int(codes.size)
+            owners = owner_of(codes, comm.size) if codes.size else np.empty(0, dtype=np.int64)
+            send = bucket_by_destination(codes, owners, comm.size) if codes.size else [
+                np.empty(0, dtype=np.uint64) for _ in range(comm.size)
+            ]
+        with timer.exchange():
+            received = comm.alltoallv(send)
+        with timer.compute():
+            chunks = [np.asarray(c, dtype=np.uint64) for c in received if np.asarray(c).size]
+            if chunks:
+                incoming = np.concatenate(chunks)
+                kmers_received += int(incoming.size)
+                seen_before = bloom.insert_many(incoming)
+                state.hashtable.add_candidate_keys(incoming[seen_before])
+
+    with timer.compute():
+        n_keys = state.hashtable.finalize_keys()
+
+    state.work["bloom"] = float(kmers_received)
+    state.local_bytes["bloom"] = float(bloom.nbytes + state.hashtable.memory_nbytes())
+    state.counters["kmers_parsed"] = kmers_parsed
+    state.counters["kmers_received_bloom"] = kmers_received
+    state.counters["distinct_keys"] = n_keys
+    state.counters["bloom_nbytes"] = bloom.nbytes
+
+
+# ---------------------------------------------------------------------------
+# Stage 2: hash-table construction (§7)
+# ---------------------------------------------------------------------------
+
+def hash_table_stage(comm: SimCommunicator, state: _RankState) -> None:
+    """Stage 2: second pass shipping (k-mer, RID, position) to the owner rank.
+
+    Occurrences are stored only for k-mers already registered as keys; the
+    finalisation then removes false-positive singletons and k-mers above the
+    high-frequency threshold m, leaving the retained k-mers (§7).
+    """
+    config = state.config
+    timer = state.timer("hashtable")
+    comm.set_phase("hashtable_exchange")
+
+    batches = _local_batches(state.local_rids, config.batch_reads)
+    n_supersteps = _global_batch_count(comm, len(batches))
+
+    occurrences_received = 0
+    occurrences_stored = 0
+
+    for step in range(n_supersteps):
+        rids = batches[step] if step < len(batches) else []
+        with timer.compute():
+            codes, rid_arr, pos_arr, strand_arr = _extract_batch_kmers(
+                state.readset, rids, config, with_positions=True
+            )
+            if codes.size:
+                owners = owner_of(codes, comm.size)
+                # Pack (RID, strand, position) into one word: RID in the high
+                # 32 bits, the strand flag in bit 31, the position in the low
+                # 31 bits.  This keeps the hash-table exchange at 2 words per
+                # k-mer instance (the paper reports ~2.5x the Bloom-filter
+                # stage volume, §7).
+                packed_meta = (
+                    (rid_arr.astype(np.uint64) << np.uint64(32))
+                    | (strand_arr.astype(np.uint64) << np.uint64(31))
+                    | pos_arr.astype(np.uint64)
+                )
+                payload = np.stack([codes, packed_meta], axis=1)
+                send = bucket_by_destination(payload, owners, comm.size)
+            else:
+                send = [np.empty((0, 2), dtype=np.uint64) for _ in range(comm.size)]
+        with timer.exchange():
+            received = comm.alltoallv(send)
+        with timer.compute():
+            chunks = [np.asarray(c, dtype=np.uint64) for c in received
+                      if np.asarray(c).size]
+            if chunks:
+                incoming = np.concatenate(chunks, axis=0)
+                occurrences_received += int(incoming.shape[0])
+                meta = incoming[:, 1]
+                occurrences_stored += state.hashtable.add_occurrences(
+                    incoming[:, 0],
+                    (meta >> np.uint64(32)).astype(np.int64),
+                    (meta & np.uint64(0x7FFFFFFF)).astype(np.int64),
+                    ((meta >> np.uint64(31)) & np.uint64(1)).astype(bool),
+                )
+
+    with timer.compute():
+        state.retained = state.hashtable.finalize(
+            min_count=config.min_kmer_count, max_count=state.high_freq_threshold
+        )
+
+    state.work["hashtable"] = float(occurrences_received)
+    state.local_bytes["hashtable"] = float(state.hashtable.memory_nbytes())
+    state.counters["kmers_received_hashtable"] = occurrences_received
+    state.counters["occurrences_stored"] = occurrences_stored
+    state.counters["retained_kmers"] = state.retained.n_kmers
+    state.counters["retained_occurrences"] = state.retained.n_occurrences
+
+
+# ---------------------------------------------------------------------------
+# Stage 3: overlap detection (§8, Algorithm 1)
+# ---------------------------------------------------------------------------
+
+def overlap_stage(comm: SimCommunicator, state: _RankState) -> None:
+    """Stage 3: form all read pairs per retained k-mer and route them to owners."""
+    config = state.config
+    timer = state.timer("overlap")
+    comm.set_phase("overlap_exchange")
+    assert state.retained is not None, "hash_table_stage must run before overlap_stage"
+
+    with timer.compute():
+        pairs = generate_pairs(state.retained)
+        if len(pairs):
+            destinations = choose_owner(
+                pairs.rid_a, pairs.rid_b, state.read_owner, heuristic=config.owner_heuristic
+            )
+            send = bucket_by_destination(pairs.to_matrix(), destinations, comm.size)
+        else:
+            send = [np.empty((0, 5), dtype=np.int64) for _ in range(comm.size)]
+
+    with timer.exchange():
+        received = comm.alltoallv(send)
+
+    with timer.compute():
+        incoming = PairBatch.concatenate(
+            [PairBatch.from_matrix(np.asarray(c)) for c in received]
+        )
+        state.overlaps = consolidate_pairs(incoming)
+        # Apply the seed-selection constraint to produce alignment tasks.
+        tasks: list[AlignmentTask] = []
+        for record in state.overlaps:
+            chosen = select_seeds(record.seed_pos_a, record.seed_pos_b, config.seed_strategy)
+            for idx in chosen:
+                tasks.append(
+                    AlignmentTask(
+                        rid_a=record.rid_a,
+                        rid_b=record.rid_b,
+                        seed_pos_a=int(record.seed_pos_a[idx]),
+                        seed_pos_b=int(record.seed_pos_b[idx]),
+                        same_strand=bool(record.seed_same_strand[idx]),
+                    )
+                )
+        state.tasks = tasks
+
+    state.work["overlap"] = float(state.retained.n_occurrences + len(pairs))
+    state.local_bytes["overlap"] = float(
+        state.retained.rids.nbytes + state.retained.positions.nbytes + 32 * len(pairs)
+    )
+    state.counters["pairs_generated"] = len(pairs)
+    state.counters["overlap_pairs"] = len(state.overlaps)
+    state.counters["alignment_tasks"] = len(state.tasks)
+
+
+# ---------------------------------------------------------------------------
+# Stage 4: read exchange and pairwise alignment (§9)
+# ---------------------------------------------------------------------------
+
+def alignment_stage(comm: SimCommunicator, state: _RankState) -> BatchAligner:
+    """Stage 4: fetch non-local reads, then align every task locally."""
+    config = state.config
+    timer = state.timer("alignment")
+    comm.set_phase("alignment_exchange")
+
+    local_set = set(state.local_rids)
+
+    with timer.compute():
+        needed: set[int] = set()
+        for task in state.tasks:
+            needed.add(task.rid_a)
+            needed.add(task.rid_b)
+        remote = sorted(rid for rid in needed if rid not in local_set)
+        # Group read requests by the rank owning each read.
+        request_buckets: list[list[int]] = [[] for _ in range(comm.size)]
+        for rid in remote:
+            request_buckets[int(state.read_owner[rid])].append(rid)
+        request_arrays = [np.array(b, dtype=np.int64) for b in request_buckets]
+
+    with timer.exchange():
+        incoming_requests = comm.alltoallv(request_arrays)
+
+    with timer.compute():
+        # Serve requested read sequences back to each requesting rank.
+        responses: list[list[tuple[int, str]]] = []
+        for src in range(comm.size):
+            wanted = np.asarray(incoming_requests[src], dtype=np.int64)
+            responses.append(
+                [(int(rid), state.readset[int(rid)].sequence) for rid in wanted]
+            )
+
+    with timer.exchange():
+        incoming_reads = comm.alltoallv(responses)
+
+    with timer.compute():
+        sequences: dict[int, str] = {rid: state.readset[rid].sequence for rid in local_set}
+        for chunk in incoming_reads:
+            for rid, sequence in chunk:
+                sequences[rid] = sequence
+
+        aligner = BatchAligner(
+            sequences=sequences,
+            kernel=config.kernel,
+            k=config.kmer.k,
+            scoring=config.scoring,
+            xdrop=config.xdrop,
+            band=config.band,
+            min_score=config.min_alignment_score,
+        )
+        accepted_ra: list[int] = []
+        accepted_rb: list[int] = []
+        accepted_score: list[int] = []
+        accepted_span_a: list[int] = []
+        accepted_span_b: list[int] = []
+        results = aligner.align_all(state.tasks)
+        for task, result in zip(state.tasks, results):
+            if result.score >= config.min_alignment_score:
+                accepted_ra.append(task.rid_a)
+                accepted_rb.append(task.rid_b)
+                accepted_score.append(result.score)
+                accepted_span_a.append(result.span_a)
+                accepted_span_b.append(result.span_b)
+
+    state.work["alignment"] = float(aligner.stats.cells)
+    state.local_bytes["alignment"] = float(sum(len(s) for s in sequences.values()))
+    state.counters["alignments"] = aligner.stats.alignments
+    state.counters["accepted_alignments"] = aligner.stats.accepted
+    state.counters["dp_cells"] = aligner.stats.cells
+    state.counters["remote_reads_fetched"] = len(remote)
+
+    state._accepted = (  # type: ignore[attr-defined]
+        np.array(accepted_ra, dtype=np.int64),
+        np.array(accepted_rb, dtype=np.int64),
+        np.array(accepted_score, dtype=np.int64),
+        np.array(accepted_span_a, dtype=np.int64),
+        np.array(accepted_span_b, dtype=np.int64),
+    )
+    return aligner
+
+
+# ---------------------------------------------------------------------------
+# The full per-rank program
+# ---------------------------------------------------------------------------
+
+def run_rank_pipeline(
+    comm: SimCommunicator,
+    readset: ReadSet,
+    assignments: list[list[int]],
+    config: PipelineConfig,
+    high_freq_threshold: int,
+) -> RankReport:
+    """Execute all four stages on one rank and return its report."""
+    read_owner = np.empty(len(readset), dtype=np.int64)
+    for rank, rids in enumerate(assignments):
+        for rid in rids:
+            read_owner[rid] = rank
+
+    state = _RankState(
+        config=config,
+        readset=readset,
+        local_rids=list(assignments[comm.rank]),
+        read_owner=read_owner,
+        high_freq_threshold=high_freq_threshold,
+    )
+
+    bloom_filter_stage(comm, state)
+    hash_table_stage(comm, state)
+    overlap_stage(comm, state)
+    alignment_stage(comm, state)
+
+    accepted = getattr(state, "_accepted")
+    return RankReport(
+        rank=comm.rank,
+        stage_work=dict(state.work),
+        stage_bytes=dict(state.local_bytes),
+        stage_compute_seconds={name: t.compute_seconds for name, t in state.timers.items()},
+        stage_exchange_seconds={name: t.exchange_seconds for name, t in state.timers.items()},
+        counters=dict(state.counters),
+        overlaps=list(state.overlaps),
+        aln_rid_a=accepted[0],
+        aln_rid_b=accepted[1],
+        aln_score=accepted[2],
+        aln_span_a=accepted[3],
+        aln_span_b=accepted[4],
+    )

@@ -1,0 +1,181 @@
+"""PacBio-like long-read simulator.
+
+Long-read instruments (PacBio RS II in the paper's data sets) produce reads
+whose lengths follow a heavy-tailed distribution around ~7-10 kbp and whose
+errors are dominated by insertions and deletions at a total rate of 10-15%.
+The simulator reproduces those characteristics at configurable scale:
+
+* read start positions are uniform over the genome (circular or linear),
+* read lengths are log-normal, clipped to a minimum,
+* each read is taken from a uniformly random strand,
+* errors are introduced per-base with configurable substitution / insertion /
+  deletion mix.
+
+Every simulated read carries its ground-truth genome interval and strand, so
+tests and the experiment harness can compute exact overlap recall — the
+"ground truth is known" comparisons BELLA's quality analysis relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.seq.alphabet import DNA_ALPHABET, reverse_complement
+from repro.seq.records import Read, ReadSet
+
+
+@dataclass(frozen=True)
+class ReadSimSpec:
+    """Parameters of the long-read simulator.
+
+    Attributes
+    ----------
+    coverage:
+        Target depth d: expected number of reads covering each genome base.
+    mean_read_length:
+        Mean read length L (bases).
+    read_length_sigma:
+        Sigma of the underlying normal for the log-normal length draw
+        (0 produces constant-length reads).
+    min_read_length:
+        Reads shorter than this are clipped up to it.
+    error_rate:
+        Total per-base error probability (substitution + insertion +
+        deletion).  PacBio-like data is ~0.10-0.15.
+    sub_fraction / ins_fraction / del_fraction:
+        Mix of error types; must sum to 1.
+    circular:
+        Treat the genome as circular (bacterial genomes are); reads may wrap.
+    seed:
+        RNG seed.
+    """
+
+    coverage: float = 30.0
+    mean_read_length: int = 10_000
+    read_length_sigma: float = 0.35
+    min_read_length: int = 500
+    error_rate: float = 0.12
+    sub_fraction: float = 0.25
+    ins_fraction: float = 0.45
+    del_fraction: float = 0.30
+    circular: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.coverage <= 0:
+            raise ValueError("coverage must be positive")
+        if self.mean_read_length <= 0:
+            raise ValueError("mean_read_length must be positive")
+        if self.min_read_length <= 0:
+            raise ValueError("min_read_length must be positive")
+        if not (0.0 <= self.error_rate < 1.0):
+            raise ValueError("error_rate must be in [0, 1)")
+        total = self.sub_fraction + self.ins_fraction + self.del_fraction
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"error type fractions must sum to 1, got {total}")
+
+
+class ReadSimulator:
+    """Simulates long reads from a genome according to a :class:`ReadSimSpec`."""
+
+    def __init__(self, genome: str, spec: ReadSimSpec):
+        if not genome:
+            raise ValueError("genome must be non-empty")
+        self.genome = genome
+        self.spec = spec
+        self._rng = np.random.default_rng(spec.seed)
+
+    # -- internal helpers ----------------------------------------------------
+
+    def _draw_length(self) -> int:
+        spec = self.spec
+        if spec.read_length_sigma <= 0:
+            return max(spec.min_read_length, spec.mean_read_length)
+        # Log-normal parameterised so that its mean equals mean_read_length.
+        sigma = spec.read_length_sigma
+        mu = np.log(spec.mean_read_length) - sigma * sigma / 2.0
+        length = int(self._rng.lognormal(mean=mu, sigma=sigma))
+        return max(spec.min_read_length, min(length, 4 * spec.mean_read_length))
+
+    def _extract_fragment(self, start: int, length: int) -> str:
+        g = self.genome
+        n = len(g)
+        if self.spec.circular:
+            if start + length <= n:
+                return g[start : start + length]
+            # wrap around the origin
+            return g[start:] + g[: (start + length) % n]
+        return g[start : min(start + length, n)]
+
+    def _apply_errors(self, fragment: str) -> str:
+        spec = self.spec
+        if spec.error_rate == 0 or not fragment:
+            return fragment
+        rng = self._rng
+        n = len(fragment)
+        # Per-base draw of (no error / substitution / insertion / deletion).
+        p_err = spec.error_rate
+        probs = np.array(
+            [
+                1.0 - p_err,
+                p_err * spec.sub_fraction,
+                p_err * spec.ins_fraction,
+                p_err * spec.del_fraction,
+            ]
+        )
+        events = rng.choice(4, size=n, p=probs)
+        out: list[str] = []
+        bases = DNA_ALPHABET
+        for i, base in enumerate(fragment):
+            ev = events[i]
+            if ev == 0:  # match
+                out.append(base)
+            elif ev == 1:  # substitution: pick a different base
+                choices = [b for b in bases if b != base]
+                out.append(choices[rng.integers(0, 3)])
+            elif ev == 2:  # insertion: keep the base and insert a random one
+                out.append(base)
+                out.append(bases[rng.integers(0, 4)])
+            # ev == 3: deletion — emit nothing
+        return "".join(out)
+
+    # -- public API -----------------------------------------------------------
+
+    def n_reads_for_coverage(self) -> int:
+        """Number of reads needed to hit the target coverage (N = G*d / L)."""
+        spec = self.spec
+        return max(1, int(round(len(self.genome) * spec.coverage / spec.mean_read_length)))
+
+    def simulate_read(self, index: int) -> Read:
+        """Simulate a single read; *index* only affects the read name."""
+        rng = self._rng
+        n = len(self.genome)
+        length = self._draw_length()
+        if not self.spec.circular:
+            length = min(length, n)
+        start = int(rng.integers(0, n))
+        if not self.spec.circular:
+            start = int(rng.integers(0, max(1, n - length + 1)))
+        fragment = self._extract_fragment(start, length)
+        strand = 1 if rng.random() < 0.5 else -1
+        if strand == -1:
+            fragment = reverse_complement(fragment)
+        sequence = self._apply_errors(fragment)
+        return Read(
+            name=f"sim_{index:07d}",
+            sequence=sequence,
+            quality=None,
+            true_start=start,
+            true_end=start + length,
+            true_strand=strand,
+        )
+
+    def simulate(self, n_reads: int | None = None) -> ReadSet:
+        """Simulate a full read set (default: enough reads for the coverage)."""
+        if n_reads is None:
+            n_reads = self.n_reads_for_coverage()
+        if n_reads <= 0:
+            raise ValueError("n_reads must be positive")
+        return ReadSet(self.simulate_read(i) for i in range(n_reads))

@@ -1,0 +1,55 @@
+"""k-mer analysis machinery: hashing, Bloom filter, hash table, reliable-k-mer model.
+
+This subpackage holds the distributed data structures and statistical models
+of diBELLA's first two pipeline stages:
+
+* :mod:`repro.kmers.hashing` — the 64-bit mixing functions used both for
+  Bloom-filter/hash-table probing and for assigning each k-mer to its owner
+  rank ("the k-mers are mapped to processors uniformly at random via
+  hashing", §4).
+* :mod:`repro.kmers.bloom` — the partitioned Bloom filter of stage 1 (§6).
+* :mod:`repro.kmers.hyperloglog` — HyperLogLog cardinality estimation, the
+  HipMer fallback for sizing the Bloom filter on extremely large inputs (§6).
+* :mod:`repro.kmers.counter` — plain k-mer counting (histograms, baseline).
+* :mod:`repro.kmers.hashtable` — the per-rank partition of the distributed
+  k-mer → [(read id, position)] hash table of stage 2 (§7).
+* :mod:`repro.kmers.reliable` — the BELLA reliable-k-mer statistical model:
+  optimal k, the high-frequency cutoff m, and cardinality estimates (§2, §3).
+"""
+
+from repro.kmers.hashing import mix64, owner_of, hash_with_seed
+from repro.kmers.bloom import BloomFilter
+from repro.kmers.hyperloglog import HyperLogLog
+from repro.kmers.counter import count_kmers, KmerCounter, kmer_frequency_histogram
+from repro.kmers.hashtable import KmerHashTablePartition, RetainedKmers
+from repro.kmers.reliable import (
+    probability_correct_kmer,
+    probability_shared_kmer,
+    optimal_k,
+    high_frequency_threshold,
+    reliable_range,
+    estimate_total_kmers,
+    estimate_distinct_kmers,
+    expected_singleton_fraction,
+)
+
+__all__ = [
+    "mix64",
+    "owner_of",
+    "hash_with_seed",
+    "BloomFilter",
+    "HyperLogLog",
+    "count_kmers",
+    "KmerCounter",
+    "kmer_frequency_histogram",
+    "KmerHashTablePartition",
+    "RetainedKmers",
+    "probability_correct_kmer",
+    "probability_shared_kmer",
+    "optimal_k",
+    "high_frequency_threshold",
+    "reliable_range",
+    "estimate_total_kmers",
+    "estimate_distinct_kmers",
+    "expected_singleton_fraction",
+]

@@ -1,0 +1,121 @@
+"""Plain k-mer counting: histograms and a streaming counter.
+
+These utilities sit outside the distributed pipeline: they provide the exact
+counts used by tests (as an oracle for the Bloom-filter + hash-table
+composition), by the frequency-spectrum statistics in ``repro.stats``, and by
+the DALIGNER-style baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.seq.kmer import KmerSpec, extract_kmer_codes
+from repro.seq.records import ReadSet
+
+
+def count_kmers(codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Exact counts of a batch of k-mer codes.
+
+    Returns ``(unique_codes, counts)`` with codes sorted ascending.
+    """
+    codes = np.asarray(codes, dtype=np.uint64)
+    if codes.size == 0:
+        return np.empty(0, dtype=np.uint64), np.empty(0, dtype=np.int64)
+    unique, counts = np.unique(codes, return_counts=True)
+    return unique, counts.astype(np.int64)
+
+
+@dataclass
+class KmerCounter:
+    """Streaming exact k-mer counter over multiple batches.
+
+    Batches are buffered as arrays and merged on demand, so adding is O(1)
+    per batch and memory stays proportional to the total number of k-mer
+    instances seen (the same trade-off diBELLA's streaming passes make, §4).
+    """
+
+    spec: KmerSpec
+
+    def __post_init__(self) -> None:
+        self._batches: list[np.ndarray] = []
+        self._merged: tuple[np.ndarray, np.ndarray] | None = None
+
+    def add_codes(self, codes: np.ndarray) -> None:
+        """Add a batch of pre-extracted k-mer codes."""
+        codes = np.asarray(codes, dtype=np.uint64)
+        if codes.size:
+            self._batches.append(codes.copy())
+            self._merged = None
+
+    def add_read(self, sequence: str) -> None:
+        """Extract and add all k-mers of one read."""
+        self.add_codes(extract_kmer_codes(sequence, self.spec))
+
+    def add_reads(self, reads: ReadSet) -> None:
+        """Extract and add all k-mers of every read in the set."""
+        for read in reads:
+            self.add_read(read.sequence)
+
+    def _merge(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._merged is None:
+            if not self._batches:
+                self._merged = (np.empty(0, dtype=np.uint64), np.empty(0, dtype=np.int64))
+            else:
+                self._merged = count_kmers(np.concatenate(self._batches))
+        return self._merged
+
+    @property
+    def total_kmers(self) -> int:
+        """Total k-mer instances added (the k-mer "bag" size)."""
+        return int(sum(b.size for b in self._batches))
+
+    @property
+    def distinct_kmers(self) -> int:
+        """Number of distinct k-mers seen (the k-mer "set" size)."""
+        return int(self._merge()[0].size)
+
+    def counts(self) -> tuple[np.ndarray, np.ndarray]:
+        """(codes, counts) of every distinct k-mer, codes ascending."""
+        return self._merge()
+
+    def count_of(self, code: int) -> int:
+        """Exact count of one code (0 if never seen)."""
+        codes, counts = self._merge()
+        idx = np.searchsorted(codes, np.uint64(code))
+        if idx < codes.size and codes[idx] == np.uint64(code):
+            return int(counts[idx])
+        return 0
+
+    def singleton_fraction(self) -> float:
+        """Fraction of distinct k-mers that occur exactly once."""
+        _, counts = self._merge()
+        if counts.size == 0:
+            return 0.0
+        return float(np.count_nonzero(counts == 1) / counts.size)
+
+    def retained(self, min_count: int = 2, max_count: int | None = None
+                 ) -> tuple[np.ndarray, np.ndarray]:
+        """Codes and counts within the reliable range [min_count, max_count]."""
+        codes, counts = self._merge()
+        mask = counts >= min_count
+        if max_count is not None:
+            mask &= counts <= max_count
+        return codes[mask], counts[mask]
+
+
+def kmer_frequency_histogram(counts: np.ndarray, max_bin: int = 64) -> np.ndarray:
+    """Histogram of k-mer multiplicities: entry i = number of k-mers seen i times.
+
+    Entry 0 is unused; multiplicities above *max_bin* are clamped into the
+    last bin.  This is the k-mer frequency spectrum used to sanity-check the
+    synthetic data sets against the paper's stated singleton fractions.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    if max_bin <= 0:
+        raise ValueError("max_bin must be positive")
+    clamped = np.minimum(counts, max_bin)
+    hist = np.bincount(clamped, minlength=max_bin + 1)
+    return hist

@@ -1,0 +1,65 @@
+"""64-bit integer hashing used throughout the k-mer machinery.
+
+A single high-quality mixer (the splitmix64 finaliser) serves three purposes:
+
+* deriving the multiple Bloom-filter probe positions (one seed per probe),
+* deriving HyperLogLog register/rank bits,
+* assigning each distinct k-mer to its owner rank — the uniform-at-random
+  k-mer → processor mapping that gives diBELLA its k-mer load balance (§4:
+  "each processor will own roughly the same number of distinct k-mers").
+
+All functions are vectorised over numpy ``uint64`` arrays and overflow
+(wrap-around) is intentional, as in the reference C implementations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+
+
+def mix64(values: np.ndarray | int) -> np.ndarray | int:
+    """splitmix64 finaliser: a bijective 64-bit mixer with good avalanche."""
+    scalar = np.isscalar(values)
+    z = np.atleast_1d(np.asarray(values, dtype=np.uint64)).copy()
+    with np.errstate(over="ignore"):
+        z += _GOLDEN
+        z ^= z >> np.uint64(30)
+        z *= _MIX1
+        z ^= z >> np.uint64(27)
+        z *= _MIX2
+        z ^= z >> np.uint64(31)
+    if scalar:
+        return int(z[0])
+    return z
+
+
+def hash_with_seed(values: np.ndarray | int, seed: int) -> np.ndarray | int:
+    """Seeded variant of :func:`mix64` (distinct seeds give independent-ish hashes)."""
+    scalar = np.isscalar(values)
+    arr = np.atleast_1d(np.asarray(values, dtype=np.uint64))
+    with np.errstate(over="ignore"):
+        seeded = arr ^ (np.uint64(seed & 0xFFFFFFFFFFFFFFFF) * _GOLDEN)
+    out = mix64(seeded)
+    if scalar:
+        return int(np.atleast_1d(out)[0])
+    return out
+
+
+def owner_of(codes: np.ndarray | int, n_ranks: int) -> np.ndarray | int:
+    """Owner rank of each k-mer code: ``mix64(code) mod n_ranks``.
+
+    Every stage uses the same mapping, so a k-mer lands on the same rank in
+    the Bloom-filter stage, the hash-table stage and the overlap stage —
+    "the k-mers are hashed to the same distributed memory location that they
+    were in the previous stage" (§7).
+    """
+    if n_ranks <= 0:
+        raise ValueError("n_ranks must be positive")
+    hashed = mix64(codes)
+    if np.isscalar(hashed):
+        return int(hashed % n_ranks)
+    return (hashed % np.uint64(n_ranks)).astype(np.int64)

@@ -1,0 +1,229 @@
+"""Per-rank partition of the distributed k-mer occurrence hash table.
+
+Stage 2 of diBELLA builds, on every rank, a hash table mapping each owned
+k-mer to "the lists of all read ID (RID) and locations at which they
+appeared" (§7).  The partition is populated in two passes that mirror the
+pipeline exactly:
+
+1. During the Bloom-filter stage, k-mers that the filter reports as already
+   seen are registered as *candidate keys* (``add_candidate_keys``).
+2. During the hash-table stage, every (k-mer, RID, position) occurrence whose
+   k-mer is a registered key is appended (``add_occurrences``); everything
+   else — the singletons correctly rejected by the Bloom filter — is dropped
+   without being stored.
+3. ``finalize`` removes false-positive singletons and k-mers above the
+   high-frequency threshold m, leaving the *retained* k-mers and their
+   occurrence lists, grouped and ready for the overlap stage.
+
+The implementation is array-based rather than a Python dict: occurrences are
+buffered as flat numpy arrays and grouped once at finalisation with a single
+sort, which keeps the per-k-mer Python overhead out of the hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RetainedKmers:
+    """The finalised contents of one hash-table partition.
+
+    Occurrences are stored structure-of-arrays style, sorted by k-mer code,
+    with ``offsets`` delimiting each k-mer's group:
+    ``rids[offsets[i]:offsets[i+1]]`` are the reads containing ``codes[i]``.
+    """
+
+    codes: np.ndarray      # (n_retained,) uint64, ascending
+    offsets: np.ndarray    # (n_retained + 1,) int64
+    rids: np.ndarray       # (n_occurrences,) int64
+    positions: np.ndarray  # (n_occurrences,) int64
+    strands: np.ndarray    # (n_occurrences,) bool — True if the occurrence is
+                           # the canonical orientation (forward) in its read
+
+    @property
+    def n_kmers(self) -> int:
+        """Number of retained k-mers in this partition."""
+        return int(self.codes.size)
+
+    @property
+    def n_occurrences(self) -> int:
+        """Total occurrences across all retained k-mers."""
+        return int(self.rids.size)
+
+    def group(self, index: int) -> tuple[int, np.ndarray, np.ndarray, np.ndarray]:
+        """(code, rids, positions, strands) of the *index*-th retained k-mer."""
+        lo, hi = int(self.offsets[index]), int(self.offsets[index + 1])
+        return (int(self.codes[index]), self.rids[lo:hi], self.positions[lo:hi],
+                self.strands[lo:hi])
+
+    def counts(self) -> np.ndarray:
+        """Occurrence count of each retained k-mer."""
+        return np.diff(self.offsets)
+
+    @classmethod
+    def empty(cls) -> "RetainedKmers":
+        """An empty partition (rank owns no retained k-mers)."""
+        return cls(
+            codes=np.empty(0, dtype=np.uint64),
+            offsets=np.zeros(1, dtype=np.int64),
+            rids=np.empty(0, dtype=np.int64),
+            positions=np.empty(0, dtype=np.int64),
+            strands=np.empty(0, dtype=bool),
+        )
+
+
+class KmerHashTablePartition:
+    """One rank's partition of the distributed k-mer occurrence table."""
+
+    def __init__(self) -> None:
+        self._candidate_batches: list[np.ndarray] = []
+        self._keys: np.ndarray | None = None
+        self._occ_codes: list[np.ndarray] = []
+        self._occ_rids: list[np.ndarray] = []
+        self._occ_positions: list[np.ndarray] = []
+        self._occ_strands: list[np.ndarray] = []
+
+    # -- pass 1: candidate keys from the Bloom filter ---------------------------------
+
+    def add_candidate_keys(self, codes: np.ndarray) -> None:
+        """Register k-mers the Bloom filter saw at least twice as table keys."""
+        codes = np.asarray(codes, dtype=np.uint64)
+        if codes.size:
+            self._candidate_batches.append(codes.copy())
+            self._keys = None
+
+    def finalize_keys(self) -> int:
+        """Deduplicate candidate keys; returns the number of distinct keys."""
+        if self._candidate_batches:
+            self._keys = np.unique(np.concatenate(self._candidate_batches))
+        else:
+            self._keys = np.empty(0, dtype=np.uint64)
+        self._candidate_batches = []
+        return int(self._keys.size)
+
+    @property
+    def n_keys(self) -> int:
+        """Number of distinct candidate keys (after :meth:`finalize_keys`)."""
+        if self._keys is None:
+            raise RuntimeError("finalize_keys() has not been called")
+        return int(self._keys.size)
+
+    def has_keys(self, codes: np.ndarray) -> np.ndarray:
+        """Boolean mask: which of *codes* are registered keys."""
+        if self._keys is None:
+            raise RuntimeError("finalize_keys() has not been called")
+        codes = np.asarray(codes, dtype=np.uint64)
+        if codes.size == 0:
+            return np.zeros(0, dtype=bool)
+        idx = np.searchsorted(self._keys, codes)
+        idx = np.minimum(idx, max(0, self._keys.size - 1))
+        if self._keys.size == 0:
+            return np.zeros(codes.size, dtype=bool)
+        return self._keys[idx] == codes
+
+    # -- pass 2: occurrence insertion ---------------------------------------------------
+
+    def add_occurrences(self, codes: np.ndarray, rids: np.ndarray,
+                        positions: np.ndarray,
+                        strands: np.ndarray | None = None) -> int:
+        """Insert occurrences whose k-mer is a registered key.
+
+        ``strands`` records, per occurrence, whether the canonical k-mer is
+        the forward orientation in that read (defaults to all-forward for
+        callers that do not track strand).  Returns the number of occurrences
+        actually stored (non-key k-mers — singletons filtered by the Bloom
+        filter — are dropped).
+        """
+        codes = np.asarray(codes, dtype=np.uint64)
+        rids = np.asarray(rids, dtype=np.int64)
+        positions = np.asarray(positions, dtype=np.int64)
+        if strands is None:
+            strands = np.ones(codes.size, dtype=bool)
+        strands = np.asarray(strands, dtype=bool)
+        if not (codes.size == rids.size == positions.size == strands.size):
+            raise ValueError("codes, rids, positions and strands must have equal length")
+        if codes.size == 0:
+            return 0
+        mask = self.has_keys(codes)
+        kept = int(np.count_nonzero(mask))
+        if kept:
+            self._occ_codes.append(codes[mask])
+            self._occ_rids.append(rids[mask])
+            self._occ_positions.append(positions[mask])
+            self._occ_strands.append(strands[mask])
+        return kept
+
+    # -- finalisation ---------------------------------------------------------------------
+
+    def finalize(self, min_count: int = 2, max_count: int | None = None) -> RetainedKmers:
+        """Group occurrences by k-mer and apply the frequency filters.
+
+        ``min_count`` removes false-positive singletons (k-mers the Bloom
+        filter wrongly promoted); ``max_count`` is the high-frequency
+        threshold m of §2.  A k-mer's *count* here is its number of stored
+        occurrences — identical to the count the original implementation
+        accumulates in the table.
+        """
+        if min_count < 1:
+            raise ValueError("min_count must be >= 1")
+        if max_count is not None and max_count < min_count:
+            raise ValueError("max_count must be >= min_count")
+        if not self._occ_codes:
+            return RetainedKmers.empty()
+
+        codes = np.concatenate(self._occ_codes)
+        rids = np.concatenate(self._occ_rids)
+        positions = np.concatenate(self._occ_positions)
+        strands = np.concatenate(self._occ_strands)
+
+        order = np.argsort(codes, kind="stable")
+        codes, rids, positions, strands = (
+            codes[order], rids[order], positions[order], strands[order]
+        )
+
+        unique_codes, group_starts, counts = np.unique(
+            codes, return_index=True, return_counts=True
+        )
+        keep = counts >= min_count
+        if max_count is not None:
+            keep &= counts <= max_count
+
+        kept_codes = unique_codes[keep]
+        kept_starts = group_starts[keep]
+        kept_counts = counts[keep]
+
+        # Rebuild a compact occurrence array containing only retained groups.
+        take = np.concatenate(
+            [np.arange(s, s + c) for s, c in zip(kept_starts, kept_counts)]
+        ) if kept_codes.size else np.empty(0, dtype=np.int64)
+        offsets = np.concatenate(([0], np.cumsum(kept_counts))).astype(np.int64)
+
+        return RetainedKmers(
+            codes=kept_codes.astype(np.uint64),
+            offsets=offsets,
+            rids=rids[take].astype(np.int64),
+            positions=positions[take].astype(np.int64),
+            strands=strands[take].astype(bool),
+        )
+
+    # -- introspection ----------------------------------------------------------------------
+
+    @property
+    def n_occurrences_buffered(self) -> int:
+        """Occurrences currently buffered (before finalisation)."""
+        return int(sum(a.size for a in self._occ_codes))
+
+    def memory_nbytes(self) -> int:
+        """Approximate memory footprint of the partition's buffers."""
+        total = 0
+        if self._keys is not None:
+            total += self._keys.nbytes
+        for batch in self._candidate_batches:
+            total += batch.nbytes
+        for arrays in (self._occ_codes, self._occ_rids, self._occ_positions,
+                       self._occ_strands):
+            total += sum(a.nbytes for a in arrays)
+        return total

@@ -1,0 +1,42 @@
+"""Simulated MPI-style SPMD runtime.
+
+The original diBELLA is an MPI program whose stages are bulk-synchronous
+supersteps communicating with ``MPI_Alltoall``/``Alltoallv`` (§4).  This
+environment has no MPI implementation, so this subpackage provides a drop-in
+substrate with the same programming model:
+
+* :func:`repro.mpisim.runtime.spmd_run` launches one thread per rank and runs
+  the same Python function on each ("single program, multiple data").
+* :class:`repro.mpisim.communicator.SimCommunicator` exposes the collectives
+  the pipeline needs — ``barrier``, ``bcast``, ``gather``, ``allgather``,
+  ``allreduce``, ``alltoall``, ``alltoallv`` — with the same semantics as
+  their MPI counterparts, plus mismatch detection (ranks calling different
+  collectives raise instead of deadlocking).
+* :class:`repro.mpisim.tracing.CommTrace` records, per phase and per rank,
+  the bytes and message counts moved by every collective; the performance
+  model in :mod:`repro.netmodel` converts those volumes into projected
+  exchange times on each of the paper's platforms.
+* :class:`repro.mpisim.topology.Topology` maps ranks onto nodes so the cost
+  model can distinguish intra-node from inter-node traffic.
+
+The communication *pattern* and per-rank *volumes* of a pipeline run are
+therefore identical to a real MPI execution; only the transport (shared
+memory between threads instead of a network) differs.  See DESIGN.md §1.
+"""
+
+from repro.mpisim.topology import Topology
+from repro.mpisim.tracing import CommTrace, PhaseTraffic
+from repro.mpisim.communicator import SimCommunicator
+from repro.mpisim.runtime import spmd_run, SPMDError
+from repro.mpisim.collectives import payload_nbytes, bucket_by_destination
+
+__all__ = [
+    "Topology",
+    "CommTrace",
+    "PhaseTraffic",
+    "SimCommunicator",
+    "spmd_run",
+    "SPMDError",
+    "payload_nbytes",
+    "bucket_by_destination",
+]

@@ -1,0 +1,279 @@
+"""Thread-backed SPMD communicator with MPI-like collectives.
+
+Each rank of an :func:`repro.mpisim.runtime.spmd_run` execution holds one
+:class:`SimCommunicator`; all communicators of a run share a
+:class:`_CollectiveState`.  A collective proceeds in three synchronised
+steps:
+
+1. every rank deposits its contribution and the name of the collective it is
+   calling into its own slot and waits on a barrier;
+2. the rank elected by the barrier validates that all ranks called the same
+   collective (raising :class:`CollectiveMismatchError` otherwise), computes
+   the per-rank results, and releases the barrier;
+3. every rank picks up its result and synchronises once more so slots can be
+   reused by the next collective.
+
+This mirrors MPI semantics closely enough for the pipeline — in particular
+``alltoallv`` delivers, to each rank, exactly the payloads addressed to it by
+every source rank, in source-rank order — while also giving the simulator a
+single choke point at which to do byte accounting and mismatch detection.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.mpisim.collectives import payload_nbytes
+from repro.mpisim.errors import CollectiveMismatchError
+from repro.mpisim.topology import Topology
+from repro.mpisim.tracing import CommTrace
+
+
+class _CollectiveState:
+    """State shared by all ranks of one SPMD execution."""
+
+    def __init__(self, n_ranks: int):
+        self.n_ranks = n_ranks
+        self.barrier = threading.Barrier(n_ranks)
+        self.op_names: list[str | None] = [None] * n_ranks
+        self.contributions: list[Any] = [None] * n_ranks
+        self.results: list[Any] = [None] * n_ranks
+        self.error: BaseException | None = None
+
+    def abort(self) -> None:
+        """Break the barrier so ranks blocked in a collective terminate."""
+        self.barrier.abort()
+
+
+class SimCommunicator:
+    """Per-rank handle onto the simulated communicator.
+
+    Parameters
+    ----------
+    rank, size:
+        This rank's index and the total number of ranks.
+    state:
+        The shared :class:`_CollectiveState` (one per SPMD execution).
+    topology:
+        Rank→node mapping; defaults to a single node hosting all ranks.
+    trace:
+        Optional :class:`CommTrace` receiving byte/message accounting.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        state: _CollectiveState,
+        topology: Topology | None = None,
+        trace: CommTrace | None = None,
+    ) -> None:
+        if not (0 <= rank < size):
+            raise ValueError(f"rank {rank} out of range for size {size}")
+        self.rank = rank
+        self.size = size
+        self._state = state
+        self.topology = topology or Topology.single_node(size)
+        if self.topology.n_ranks != size:
+            raise ValueError(
+                f"topology has {self.topology.n_ranks} ranks but communicator has {size}"
+            )
+        self.trace = trace
+
+    # -- phase labelling -------------------------------------------------------
+
+    def set_phase(self, phase: str) -> None:
+        """Attribute subsequent traffic from this rank to *phase* in the trace."""
+        if self.trace is not None:
+            self.trace.set_phase(self.rank, phase)
+
+    # -- core synchronisation protocol ------------------------------------------
+
+    def _collective(
+        self,
+        op_name: str,
+        contribution: Any,
+        combine: Callable[[list[Any]], list[Any]],
+    ) -> Any:
+        """Run one collective: deposit, combine on the elected rank, collect."""
+        state = self._state
+        state.op_names[self.rank] = op_name
+        state.contributions[self.rank] = contribution
+
+        index = state.barrier.wait()
+        if index == 0:
+            try:
+                names = set(state.op_names)
+                if len(names) != 1:
+                    raise CollectiveMismatchError(
+                        f"ranks disagree on collective: {sorted(str(n) for n in names)}"
+                    )
+                state.results = combine(list(state.contributions))
+                state.error = None
+            except BaseException as exc:  # propagate to every rank below
+                state.error = exc
+                state.results = [None] * state.n_ranks
+
+        state.barrier.wait()
+        error = state.error
+        result = state.results[self.rank]
+
+        # Final synchronisation so no rank starts the next collective while
+        # laggards are still reading results from this one.
+        state.barrier.wait()
+        if error is not None:
+            raise error
+        return result
+
+    # -- collectives -------------------------------------------------------------
+
+    def barrier(self) -> None:
+        """Synchronise all ranks."""
+        self._collective("barrier", None, lambda contribs: [None] * self.size)
+
+    def bcast(self, value: Any, root: int = 0) -> Any:
+        """Broadcast *value* from *root* to every rank."""
+        self._check_root(root)
+
+        def combine(contribs: list[Any]) -> list[Any]:
+            return [contribs[root]] * self.size
+
+        result = self._collective("bcast", value if self.rank == root else None, combine)
+        self._record_pointwise(root, payload_nbytes(result), from_root=True)
+        return result
+
+    def gather(self, value: Any, root: int = 0) -> list[Any] | None:
+        """Gather one value per rank onto *root* (other ranks get ``None``)."""
+        self._check_root(root)
+
+        def combine(contribs: list[Any]) -> list[Any]:
+            gathered = list(contribs)
+            return [gathered if r == root else None for r in range(self.size)]
+
+        self._record_pointwise(root, payload_nbytes(value), from_root=False)
+        return self._collective("gather", value, combine)
+
+    def allgather(self, value: Any) -> list[Any]:
+        """Gather one value per rank onto every rank."""
+
+        def combine(contribs: list[Any]) -> list[Any]:
+            gathered = list(contribs)
+            return [list(gathered) for _ in range(self.size)]
+
+        self._record_broadcast(payload_nbytes(value))
+        return self._collective("allgather", value, combine)
+
+    def allreduce(self, value: Any, op: Callable[[Any, Any], Any] | str = "sum") -> Any:
+        """Reduce one value per rank with *op* and return the result everywhere.
+
+        ``op`` may be ``"sum"``, ``"max"``, ``"min"`` or a binary callable.
+        """
+        reducer = self._resolve_reducer(op)
+
+        def combine(contribs: list[Any]) -> list[Any]:
+            acc = contribs[0]
+            for item in contribs[1:]:
+                acc = reducer(acc, item)
+            return [acc] * self.size
+
+        self._record_broadcast(payload_nbytes(value))
+        return self._collective(f"allreduce:{op}", value, combine)
+
+    def reduce(self, value: Any, op: Callable[[Any, Any], Any] | str = "sum",
+               root: int = 0) -> Any:
+        """Reduce one value per rank onto *root* (other ranks get ``None``)."""
+        self._check_root(root)
+        reducer = self._resolve_reducer(op)
+
+        def combine(contribs: list[Any]) -> list[Any]:
+            acc = contribs[0]
+            for item in contribs[1:]:
+                acc = reducer(acc, item)
+            return [acc if r == root else None for r in range(self.size)]
+
+        self._record_pointwise(root, payload_nbytes(value), from_root=False)
+        return self._collective(f"reduce:{op}", value, combine)
+
+    def alltoall(self, send: Sequence[Any]) -> list[Any]:
+        """Personalised exchange of exactly one item per destination rank."""
+        send = list(send)
+        if len(send) != self.size:
+            raise ValueError(f"alltoall needs {self.size} items, got {len(send)}")
+        return self._exchange("alltoall", send)
+
+    def alltoallv(self, send: Sequence[Any]) -> list[Any]:
+        """Irregular personalised exchange (variable-size payload per destination).
+
+        ``send[d]`` is the payload this rank sends to rank ``d`` (any object;
+        numpy arrays are the fast path).  The return value is a list where
+        entry ``s`` is the payload received from rank ``s``.
+        """
+        send = list(send)
+        if len(send) != self.size:
+            raise ValueError(f"alltoallv needs {self.size} payloads, got {len(send)}")
+        if self.trace is not None and self.rank == 0:
+            self.trace.record_alltoallv_call()
+        return self._exchange("alltoallv", send)
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _exchange(self, op_name: str, send: list[Any]) -> list[Any]:
+        if self.trace is not None:
+            sizes = np.array([payload_nbytes(p) for p in send], dtype=np.int64)
+            self.trace.record_send(self.rank, sizes)
+            if self.rank == 0:
+                self.trace.record_collective_call(self.trace.current_phase(0))
+
+        def combine(contribs: list[Any]) -> list[Any]:
+            # contribs[src][dst] is the payload src sends to dst; transpose it.
+            return [[contribs[src][dst] for src in range(self.size)]
+                    for dst in range(self.size)]
+
+        return self._collective(op_name, send, combine)
+
+    def _check_root(self, root: int) -> None:
+        if not (0 <= root < self.size):
+            raise ValueError(f"root {root} out of range for size {self.size}")
+
+    @staticmethod
+    def _resolve_reducer(op: Callable[[Any, Any], Any] | str) -> Callable[[Any, Any], Any]:
+        if callable(op):
+            return op
+        table: dict[str, Callable[[Any, Any], Any]] = {
+            "sum": lambda a, b: a + b,
+            "max": lambda a, b: np.maximum(a, b) if isinstance(a, np.ndarray) else max(a, b),
+            "min": lambda a, b: np.minimum(a, b) if isinstance(a, np.ndarray) else min(a, b),
+        }
+        try:
+            return table[op]
+        except KeyError:
+            raise ValueError(f"unknown reduction op {op!r}") from None
+
+    def _record_pointwise(self, root: int, nbytes: int, from_root: bool) -> None:
+        """Account a root-based collective: root↔rank traffic only."""
+        if self.trace is None or nbytes == 0:
+            return
+        sizes = np.zeros(self.size, dtype=np.int64)
+        if from_root:
+            if self.rank == root:
+                sizes[:] = nbytes
+                sizes[root] = 0
+                self.trace.record_send(self.rank, sizes)
+        else:
+            if self.rank != root:
+                sizes[root] = nbytes
+                self.trace.record_send(self.rank, sizes)
+
+    def _record_broadcast(self, nbytes: int) -> None:
+        """Account an all-to-all-style small collective (allgather/allreduce)."""
+        if self.trace is None or nbytes == 0:
+            return
+        sizes = np.full(self.size, nbytes, dtype=np.int64)
+        sizes[self.rank] = 0
+        self.trace.record_send(self.rank, sizes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimCommunicator(rank={self.rank}, size={self.size})"

@@ -1,0 +1,23 @@
+"""Errors raised by the simulated SPMD runtime."""
+
+from __future__ import annotations
+
+
+class SPMDError(RuntimeError):
+    """Base class for errors raised by the simulated runtime."""
+
+
+class CollectiveMismatchError(SPMDError):
+    """Raised when ranks disagree on which collective they are executing.
+
+    In real MPI this is a silent deadlock; the simulator detects it at the
+    synchronisation point and fails fast with the set of conflicting calls.
+    """
+
+
+class RankFailedError(SPMDError):
+    """Raised on all ranks when any rank's program raised an exception.
+
+    The original exception (from the first failing rank) is attached as
+    ``__cause__`` by the runtime so test failures point at the real bug.
+    """

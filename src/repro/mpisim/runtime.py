@@ -1,0 +1,104 @@
+"""SPMD launcher: run the same function on every rank, in threads.
+
+:func:`spmd_run` is the equivalent of ``mpiexec -n P python program.py`` for
+the simulated runtime: it creates ``P`` communicators sharing one collective
+state, runs ``fn(comm, *args, **kwargs)`` on each in its own thread, and
+returns the per-rank results in rank order.
+
+Error handling follows the "fail fast, fail loudly" rule for SPMD programs:
+if any rank raises, the runtime aborts the shared barrier (so ranks blocked
+in a collective wake up instead of deadlocking), joins all threads, and
+re-raises the first failure wrapped in :class:`RankFailedError`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from repro.mpisim.communicator import SimCommunicator, _CollectiveState
+from repro.mpisim.errors import RankFailedError, SPMDError
+from repro.mpisim.topology import Topology
+from repro.mpisim.tracing import CommTrace
+
+__all__ = ["spmd_run", "SPMDError", "RankFailedError"]
+
+
+def spmd_run(
+    n_ranks: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    topology: Topology | None = None,
+    trace: CommTrace | None = None,
+    **kwargs: Any,
+) -> list[Any]:
+    """Run *fn* as an SPMD program over *n_ranks* simulated ranks.
+
+    Parameters
+    ----------
+    n_ranks:
+        Number of ranks (threads) to launch.
+    fn:
+        The rank program.  Called as ``fn(comm, *args, **kwargs)`` where
+        ``comm`` is that rank's :class:`SimCommunicator`.
+    topology:
+        Optional rank→node topology (defaults to one node with all ranks).
+    trace:
+        Optional :class:`CommTrace` to record communication volumes into.
+
+    Returns
+    -------
+    list
+        ``fn``'s return value for each rank, in rank order.
+
+    Raises
+    ------
+    RankFailedError
+        If any rank's program raised; the original exception is chained.
+    """
+    if n_ranks <= 0:
+        raise ValueError("n_ranks must be positive")
+    if topology is not None and topology.n_ranks != n_ranks:
+        raise ValueError(
+            f"topology describes {topology.n_ranks} ranks but n_ranks={n_ranks}"
+        )
+
+    state = _CollectiveState(n_ranks)
+    results: list[Any] = [None] * n_ranks
+    failures: list[tuple[int, BaseException]] = []
+    failures_lock = threading.Lock()
+
+    def worker(rank: int) -> None:
+        comm = SimCommunicator(rank, n_ranks, state, topology=topology, trace=trace)
+        try:
+            results[rank] = fn(comm, *args, **kwargs)
+        except threading.BrokenBarrierError:
+            # Another rank failed and aborted the barrier; stay quiet, the
+            # original failure is reported below.
+            pass
+        except BaseException as exc:  # noqa: BLE001 - must capture rank failures
+            with failures_lock:
+                failures.append((rank, exc))
+            state.abort()
+
+    if n_ranks == 1:
+        # Fast path: no threads for single-rank runs (common in tests and in
+        # the Table 2 single-node comparison).
+        worker(0)
+    else:
+        threads = [
+            threading.Thread(target=worker, args=(rank,), name=f"spmd-rank-{rank}")
+            for rank in range(n_ranks)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    if failures:
+        failures.sort(key=lambda item: item[0])
+        rank, exc = failures[0]
+        raise RankFailedError(
+            f"rank {rank} failed with {type(exc).__name__}: {exc}"
+        ) from exc
+    return results

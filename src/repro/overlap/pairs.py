@@ -1,0 +1,256 @@
+"""Read-pair generation (Algorithm 1) and pair consolidation.
+
+For every retained k-mer, every pair of its occurrences is a candidate
+overlap; each pair becomes an alignment task routed to the rank that owns one
+of the two reads, chosen by the odd/even heuristic of Algorithm 1 so that
+task counts balance without any global coordination.  After the exchange,
+tasks for the same read pair (one per shared k-mer) are consolidated into a
+single overlap record carrying the pair's full seed list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kmers.hashing import mix64
+from repro.kmers.hashtable import RetainedKmers
+
+
+@dataclass(frozen=True)
+class PairBatch:
+    """A flat batch of (read pair, seed) tuples, structure-of-arrays style.
+
+    ``rid_a``/``rid_b`` are the pair's read identifiers, ``pos_a``/``pos_b``
+    the shared k-mer's position in each read.  The convention ``rid_a <
+    rid_b`` is enforced at construction so the same pair never appears under
+    two keys.
+    """
+
+    rid_a: np.ndarray
+    rid_b: np.ndarray
+    pos_a: np.ndarray
+    pos_b: np.ndarray
+    same_strand: np.ndarray
+
+    def __post_init__(self) -> None:
+        sizes = {self.rid_a.size, self.rid_b.size, self.pos_a.size, self.pos_b.size,
+                 self.same_strand.size}
+        if len(sizes) != 1:
+            raise ValueError("all PairBatch arrays must have the same length")
+
+    def __len__(self) -> int:
+        return int(self.rid_a.size)
+
+    @classmethod
+    def empty(cls) -> "PairBatch":
+        """A batch with no pairs."""
+        z = np.empty(0, dtype=np.int64)
+        return cls(rid_a=z, rid_b=z.copy(), pos_a=z.copy(), pos_b=z.copy(),
+                   same_strand=np.empty(0, dtype=np.int64))
+
+    def to_matrix(self) -> np.ndarray:
+        """Pack the batch as an (n, 5) int64 matrix (the wire format)."""
+        return np.stack([self.rid_a, self.rid_b, self.pos_a, self.pos_b,
+                         self.same_strand.astype(np.int64)], axis=1)
+
+    @classmethod
+    def from_matrix(cls, matrix: np.ndarray) -> "PairBatch":
+        """Rebuild a batch from the (n, 5) wire format."""
+        matrix = np.asarray(matrix, dtype=np.int64)
+        if matrix.size == 0:
+            return cls.empty()
+        if matrix.ndim != 2 or matrix.shape[1] != 5:
+            raise ValueError(f"expected an (n, 5) matrix, got shape {matrix.shape}")
+        return cls(rid_a=matrix[:, 0].copy(), rid_b=matrix[:, 1].copy(),
+                   pos_a=matrix[:, 2].copy(), pos_b=matrix[:, 3].copy(),
+                   same_strand=matrix[:, 4].copy())
+
+    @classmethod
+    def concatenate(cls, batches: list["PairBatch"]) -> "PairBatch":
+        """Concatenate several batches (empty batches are skipped)."""
+        non_empty = [b for b in batches if len(b)]
+        if not non_empty:
+            return cls.empty()
+        return cls(
+            rid_a=np.concatenate([b.rid_a for b in non_empty]),
+            rid_b=np.concatenate([b.rid_b for b in non_empty]),
+            pos_a=np.concatenate([b.pos_a for b in non_empty]),
+            pos_b=np.concatenate([b.pos_b for b in non_empty]),
+            same_strand=np.concatenate([b.same_strand for b in non_empty]),
+        )
+
+
+@dataclass(frozen=True)
+class OverlapRecord:
+    """A consolidated overlap: one read pair and all its shared seeds.
+
+    ``seed_same_strand[i]`` is True when seed *i* occurs in the same
+    orientation in both reads (align the reads as-is) and False when one of
+    them carries the reverse complement (align read A against the reverse
+    complement of read B).
+    """
+
+    rid_a: int
+    rid_b: int
+    seed_pos_a: np.ndarray
+    seed_pos_b: np.ndarray
+    seed_same_strand: np.ndarray
+
+    @property
+    def n_seeds(self) -> int:
+        """Number of shared retained k-mers found for this pair."""
+        return int(self.seed_pos_a.size)
+
+
+# ---------------------------------------------------------------------------
+# Owner heuristics
+# ---------------------------------------------------------------------------
+
+def owner_heuristic_oddeven(rid_a: np.ndarray, rid_b: np.ndarray) -> np.ndarray:
+    """Algorithm 1's odd/even owner choice, vectorised.
+
+    Returns a boolean array: True where the task goes to the owner of
+    ``rid_a``, False where it goes to the owner of ``rid_b``.  The rule is
+    exactly the paper's:
+
+    * ``rid_a`` even and ``rid_a > rid_b + 1`` → owner of ``rid_a``
+    * ``rid_a`` odd  and ``rid_a < rid_b + 1`` → owner of ``rid_a``
+    * otherwise → owner of ``rid_b``
+
+    For uniformly distributed read identifiers this splits the tasks roughly
+    evenly between the two reads' owners, which — combined with the uniform
+    read partition — balances the number of alignment tasks per rank.
+    """
+    rid_a = np.asarray(rid_a, dtype=np.int64)
+    rid_b = np.asarray(rid_b, dtype=np.int64)
+    even = (rid_a % 2) == 0
+    return (even & (rid_a > rid_b + 1)) | (~even & (rid_a < rid_b + 1))
+
+
+def choose_owner(
+    rid_a: np.ndarray,
+    rid_b: np.ndarray,
+    read_owner: np.ndarray,
+    heuristic: str = "oddeven",
+) -> np.ndarray:
+    """Destination rank of each task under the named owner heuristic.
+
+    ``read_owner`` maps RID → owning rank (from the input read partition).
+    Heuristics: ``"oddeven"`` (Algorithm 1, default), ``"min"`` (always the
+    owner of the smaller RID) and ``"random"`` (hash of the pair) — the last
+    two exist for the owner-heuristic ablation bench.
+    """
+    rid_a = np.asarray(rid_a, dtype=np.int64)
+    rid_b = np.asarray(rid_b, dtype=np.int64)
+    read_owner = np.asarray(read_owner, dtype=np.int64)
+    if heuristic == "oddeven":
+        use_a = owner_heuristic_oddeven(rid_a, rid_b)
+    elif heuristic == "min":
+        use_a = np.ones(rid_a.size, dtype=bool)
+    elif heuristic == "random":
+        pair_hash = mix64(rid_a.astype(np.uint64) * np.uint64(2654435761) ^ rid_b.astype(np.uint64))
+        use_a = (np.atleast_1d(pair_hash) & np.uint64(1)) == 0
+    else:
+        raise ValueError(f"unknown owner heuristic {heuristic!r}")
+    chosen_rid = np.where(use_a, rid_a, rid_b)
+    return read_owner[chosen_rid]
+
+
+# ---------------------------------------------------------------------------
+# Pair generation from a hash-table partition
+# ---------------------------------------------------------------------------
+
+def generate_pairs(retained: RetainedKmers) -> PairBatch:
+    """All read pairs sharing each retained k-mer of one partition.
+
+    For a k-mer with occurrence list ``[(r_0, p_0), ..., (r_{c-1}, p_{c-1})]``
+    every unordered pair ``{i, j}`` with ``r_i != r_j`` produces one task;
+    a k-mer of multiplicity c contributes up to c(c-1)/2 tasks (the
+    ``[2, m(m-1)/2]`` bound of §8).  Pairs are normalised so that
+    ``rid_a < rid_b``.
+    """
+    if retained.n_kmers == 0:
+        return PairBatch.empty()
+
+    rid_chunks: list[np.ndarray] = []
+    ridb_chunks: list[np.ndarray] = []
+    posa_chunks: list[np.ndarray] = []
+    posb_chunks: list[np.ndarray] = []
+    strand_chunks: list[np.ndarray] = []
+
+    counts = retained.counts()
+    for index in range(retained.n_kmers):
+        c = int(counts[index])
+        if c < 2:
+            continue
+        _, rids, positions, strands = retained.group(index)
+        ii, jj = np.triu_indices(c, k=1)
+        ra, rb = rids[ii], rids[jj]
+        pa, pb = positions[ii], positions[jj]
+        same = strands[ii] == strands[jj]
+        distinct = ra != rb
+        if not distinct.any():
+            continue
+        ra, rb, pa, pb, same = (ra[distinct], rb[distinct], pa[distinct],
+                                pb[distinct], same[distinct])
+        # Normalise so rid_a < rid_b (swap positions along with the rids).
+        swap = ra > rb
+        ra_norm = np.where(swap, rb, ra)
+        rb_norm = np.where(swap, ra, rb)
+        pa_norm = np.where(swap, pb, pa)
+        pb_norm = np.where(swap, pa, pb)
+        rid_chunks.append(ra_norm)
+        ridb_chunks.append(rb_norm)
+        posa_chunks.append(pa_norm)
+        posb_chunks.append(pb_norm)
+        strand_chunks.append(same)
+
+    if not rid_chunks:
+        return PairBatch.empty()
+    return PairBatch(
+        rid_a=np.concatenate(rid_chunks).astype(np.int64),
+        rid_b=np.concatenate(ridb_chunks).astype(np.int64),
+        pos_a=np.concatenate(posa_chunks).astype(np.int64),
+        pos_b=np.concatenate(posb_chunks).astype(np.int64),
+        same_strand=np.concatenate(strand_chunks).astype(np.int64),
+    )
+
+
+def consolidate_pairs(batch: PairBatch) -> list[OverlapRecord]:
+    """Group a task batch by read pair into :class:`OverlapRecord` objects.
+
+    Duplicate seeds (same pair, same positions — possible when a k-mer
+    repeats inside a read) are removed; seed lists are sorted by position on
+    read A.
+    """
+    if len(batch) == 0:
+        return []
+    # Sort by (rid_a, rid_b) to find group boundaries with one pass.
+    order = np.lexsort((batch.rid_b, batch.rid_a))
+    ra = batch.rid_a[order]
+    rb = batch.rid_b[order]
+    pa = batch.pos_a[order]
+    pb = batch.pos_b[order]
+    same = batch.same_strand[order]
+
+    boundary = np.ones(ra.size, dtype=bool)
+    boundary[1:] = (ra[1:] != ra[:-1]) | (rb[1:] != rb[:-1])
+    starts = np.nonzero(boundary)[0]
+    ends = np.append(starts[1:], ra.size)
+
+    records: list[OverlapRecord] = []
+    for s, e in zip(starts, ends):
+        seeds = np.stack([pa[s:e], pb[s:e], same[s:e]], axis=1)
+        seeds = np.unique(seeds, axis=0)  # drop duplicate seeds, sort by pos_a
+        records.append(
+            OverlapRecord(
+                rid_a=int(ra[s]),
+                rid_b=int(rb[s]),
+                seed_pos_a=seeds[:, 0].copy(),
+                seed_pos_b=seeds[:, 1].copy(),
+                seed_same_strand=seeds[:, 2].astype(bool).copy(),
+            )
+        )
+    return records

@@ -1,0 +1,109 @@
+"""Seed-selection strategies for overlapping read pairs.
+
+An overlapping pair of reads usually shares several retained k-mers.  How
+many of them to use as alignment seeds is a runtime "exploration" parameter
+(§8): more seeds means more alignment work but better coverage of pairs whose
+first seed lands badly.  The paper's experiments use three settings (§5):
+
+* ``one`` — exactly one seed per pair (the minimum-computation extreme),
+* ``min_separation`` with d = 1000 bp — all seeds at least 1 kbp apart,
+* ``min_separation`` with d = k — all seeds at least a k-mer length apart
+  (the maximum-computation extreme, labelled "all seeds" in the figures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SeedStrategy:
+    """A named seed-selection policy.
+
+    Attributes
+    ----------
+    mode:
+        ``"one"`` or ``"min_separation"``.
+    min_separation:
+        Minimum distance (in bases, measured on the first read of the pair)
+        between two selected seeds; ignored for ``"one"``.
+    max_seeds:
+        Optional cap on the number of seeds explored per pair (the paper's
+        "maximum number of seeds to explore per overlap" runtime parameter).
+    """
+
+    mode: str = "one"
+    min_separation: int = 1000
+    max_seeds: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("one", "min_separation"):
+            raise ValueError(f"unknown seed strategy mode {self.mode!r}")
+        if self.min_separation < 1:
+            raise ValueError("min_separation must be >= 1")
+        if self.max_seeds is not None and self.max_seeds < 1:
+            raise ValueError("max_seeds must be >= 1 when given")
+
+    # Convenience constructors matching the paper's three experimental settings.
+
+    @classmethod
+    def one_seed(cls) -> "SeedStrategy":
+        """Exactly one seed per overlapping pair (lowest computational intensity)."""
+        return cls(mode="one")
+
+    @classmethod
+    def separated_by(cls, distance: int, max_seeds: int | None = None) -> "SeedStrategy":
+        """All seeds separated by at least *distance* bases."""
+        return cls(mode="min_separation", min_separation=distance, max_seeds=max_seeds)
+
+
+def select_seeds(
+    pos_a: np.ndarray,
+    pos_b: np.ndarray,
+    strategy: SeedStrategy,
+) -> np.ndarray:
+    """Select which shared k-mer seeds of one read pair to align.
+
+    Parameters
+    ----------
+    pos_a, pos_b:
+        Positions of every shared retained k-mer in read A and read B
+        (parallel arrays, unordered).
+    strategy:
+        The selection policy.
+
+    Returns
+    -------
+    numpy.ndarray
+        Indices (into ``pos_a``/``pos_b``) of the selected seeds, ordered by
+        position on read A.
+    """
+    pos_a = np.asarray(pos_a, dtype=np.int64)
+    pos_b = np.asarray(pos_b, dtype=np.int64)
+    if pos_a.shape != pos_b.shape:
+        raise ValueError("pos_a and pos_b must have the same shape")
+    n = pos_a.size
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+
+    order = np.argsort(pos_a, kind="stable")
+
+    if strategy.mode == "one":
+        # Use the first seed by position on read A — deterministic and what
+        # the "exactly one seed per pair" configuration computes.
+        return order[:1]
+
+    # min_separation: greedy left-to-right scan keeping any seed at least
+    # min_separation bases after the previously kept one.
+    selected: list[int] = []
+    last_pos = -np.iinfo(np.int64).max
+    for idx in order:
+        p = int(pos_a[idx])
+        if p - last_pos >= strategy.min_separation:
+            selected.append(int(idx))
+            last_pos = p
+            if strategy.max_seeds is not None and len(selected) >= strategy.max_seeds:
+                break
+    return np.array(selected, dtype=np.int64)

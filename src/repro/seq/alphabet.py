@@ -1,0 +1,89 @@
+"""DNA alphabet, validation and complement operations.
+
+The four-letter alphabet {A, C, G, T} is mapped to the 2-bit codes
+``A=0, C=1, G=2, T=3``.  This ordering has the convenient property that the
+complement of a base code is ``3 - code``, which lets the reverse complement
+of a packed k-mer be computed arithmetically (see
+:func:`repro.seq.kmer.reverse_complement_code`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The DNA alphabet in code order (index == 2-bit code).
+DNA_ALPHABET: str = "ACGT"
+
+#: Mapping from base character to its 2-bit code.
+BASE_TO_CODE: dict[str, int] = {b: i for i, b in enumerate(DNA_ALPHABET)}
+
+#: Mapping from 2-bit code to base character.
+CODE_TO_BASE: dict[int, str] = {i: b for i, b in enumerate(DNA_ALPHABET)}
+
+#: Complement pairs.
+_COMPLEMENT: dict[str, str] = {"A": "T", "C": "G", "G": "C", "T": "A", "N": "N"}
+
+# Lookup table (uint8 indexed by ASCII byte) from base to code; invalid = 255.
+_ASCII_TO_CODE = np.full(256, 255, dtype=np.uint8)
+for _b, _c in BASE_TO_CODE.items():
+    _ASCII_TO_CODE[ord(_b)] = _c
+    _ASCII_TO_CODE[ord(_b.lower())] = _c
+
+# Lookup table from ASCII byte to complement ASCII byte; identity elsewhere.
+_ASCII_COMPLEMENT = np.arange(256, dtype=np.uint8)
+for _b, _c in _COMPLEMENT.items():
+    _ASCII_COMPLEMENT[ord(_b)] = ord(_c)
+    _ASCII_COMPLEMENT[ord(_b.lower())] = ord(_c.lower())
+
+
+def ascii_to_code_table() -> np.ndarray:
+    """Return the (read-only) 256-entry ASCII→2-bit-code lookup table.
+
+    Entries for characters outside ``ACGTacgt`` are 255, which callers treat
+    as "ambiguous base".
+    """
+    return _ASCII_TO_CODE
+
+
+def is_valid_dna(seq: str) -> bool:
+    """Return True if *seq* consists only of upper- or lower-case ACGT."""
+    if not seq:
+        return True
+    arr = np.frombuffer(seq.encode("ascii"), dtype=np.uint8)
+    return bool(np.all(_ASCII_TO_CODE[arr] != 255))
+
+
+def sanitize(seq: str, replacement: str = "A") -> str:
+    """Replace any non-ACGT character in *seq* with *replacement*.
+
+    Long-read data contains occasional ambiguous bases (``N``); diBELLA's
+    k-mer machinery operates on the 4-letter alphabet only, so readers
+    sanitise on ingest.  ``replacement`` must be a single valid base.
+    """
+    if replacement not in BASE_TO_CODE:
+        raise ValueError(f"replacement must be one of {DNA_ALPHABET!r}, got {replacement!r}")
+    if is_valid_dna(seq):
+        return seq.upper()
+    arr = np.frombuffer(seq.upper().encode("ascii"), dtype=np.uint8).copy()
+    bad = _ASCII_TO_CODE[arr] == 255
+    arr[bad] = ord(replacement)
+    return arr.tobytes().decode("ascii")
+
+
+def complement(base: str) -> str:
+    """Return the complement of a single base (``A<->T``, ``C<->G``)."""
+    try:
+        return _COMPLEMENT[base.upper()]
+    except KeyError:
+        raise ValueError(f"not a DNA base: {base!r}") from None
+
+
+def reverse_complement(seq: str) -> str:
+    """Return the reverse complement of *seq*.
+
+    Vectorised via a byte-level lookup table; ``N`` maps to ``N``.
+    """
+    if not seq:
+        return ""
+    arr = np.frombuffer(seq.encode("ascii"), dtype=np.uint8)
+    return _ASCII_COMPLEMENT[arr][::-1].tobytes().decode("ascii")

@@ -1,0 +1,189 @@
+"""k-mer extraction, canonicalisation and hashing.
+
+A k-mer of length ``k <= 31`` is represented as a single ``uint64`` *code*:
+the concatenation of the 2-bit codes of its bases, most significant base
+first.  This mirrors diBELLA's compact k-mer representation (§3) and lets the
+whole pipeline move k-mers around as flat numpy integer arrays — the
+communication-friendly layout the distributed stages rely on.
+
+Reads come from either strand of the genome, so two overlapping reads may
+share a k-mer only up to reverse complement.  As in BELLA/diBELLA, k-mers are
+*canonicalised*: a k-mer and its reverse complement are mapped to the same
+representative (the numerically smaller code), so strand does not affect
+matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.seq.alphabet import DNA_ALPHABET
+from repro.seq.encoding import encode_sequence
+
+#: Largest k representable in a single uint64 code.
+MAX_K: int = 31
+
+#: Default k-mer length for long-read data (the paper's typical value, §2).
+DEFAULT_K: int = 17
+
+
+@dataclass(frozen=True)
+class KmerSpec:
+    """Parameters of the k-mer analysis.
+
+    Attributes
+    ----------
+    k:
+        k-mer length.  Must be in ``[1, MAX_K]``.  17 is typical for long
+        reads (§2 of the paper).
+    canonical:
+        Whether to canonicalise k-mers across strands.  diBELLA always does;
+        the flag exists so tests can exercise the raw forward extraction.
+    """
+
+    k: int = DEFAULT_K
+    canonical: bool = True
+
+    def __post_init__(self) -> None:
+        if not (1 <= self.k <= MAX_K):
+            raise ValueError(f"k must be in [1, {MAX_K}], got {self.k}")
+
+    @property
+    def code_mask(self) -> int:
+        """Bit mask covering the 2*k low bits of a k-mer code."""
+        return (1 << (2 * self.k)) - 1
+
+    def kmers_in(self, read_length: int) -> int:
+        """Number of k-mers in a read of the given length (L - k + 1, >= 0)."""
+        return max(0, read_length - self.k + 1)
+
+
+def kmer_string_to_code(kmer: str) -> int:
+    """Convert a k-mer string (length <= 31) to its integer code."""
+    if not (1 <= len(kmer) <= MAX_K):
+        raise ValueError(f"k-mer length must be in [1, {MAX_K}], got {len(kmer)}")
+    codes = encode_sequence(kmer)
+    value = 0
+    for c in codes:
+        value = (value << 2) | int(c)
+    return value
+
+
+def kmer_code_to_string(code: int, k: int) -> str:
+    """Convert an integer k-mer code back to its string form."""
+    if not (1 <= k <= MAX_K):
+        raise ValueError(f"k must be in [1, {MAX_K}], got {k}")
+    chars = []
+    for shift in range(2 * (k - 1), -2, -2):
+        chars.append(DNA_ALPHABET[(code >> shift) & 3])
+    return "".join(chars)
+
+
+def reverse_complement_code(codes: np.ndarray | int, k: int) -> np.ndarray | int:
+    """Reverse-complement k-mer code(s) arithmetically.
+
+    With the ``A=0, C=1, G=2, T=3`` encoding the complement of a base code is
+    ``3 - code``, so complementing a whole k-mer is a subtraction from the
+    all-ones pattern; the reversal is done by reassembling the 2-bit fields in
+    opposite order.
+    """
+    scalar = np.isscalar(codes)
+    arr = np.atleast_1d(np.asarray(codes, dtype=np.uint64))
+    mask = np.uint64((1 << (2 * k)) - 1)
+    comp = (~arr) & mask  # complement every base (3 - code per 2-bit field)
+    out = np.zeros_like(arr)
+    for i in range(k):
+        base = (comp >> np.uint64(2 * i)) & np.uint64(3)
+        out |= base << np.uint64(2 * (k - 1 - i))
+    if scalar:
+        return int(out[0])
+    return out
+
+
+def canonical_code(code: int, k: int) -> int:
+    """Return the canonical representative of a single k-mer code."""
+    rc = reverse_complement_code(code, k)
+    return code if code <= rc else int(rc)
+
+
+def canonicalize_codes(codes: np.ndarray, k: int) -> np.ndarray:
+    """Vectorised canonicalisation: elementwise min(code, revcomp(code))."""
+    codes = np.asarray(codes, dtype=np.uint64)
+    rc = reverse_complement_code(codes, k)
+    return np.minimum(codes, rc)
+
+
+def extract_kmer_codes(seq: str, spec: KmerSpec) -> np.ndarray:
+    """Extract all k-mer codes of a read as a ``uint64`` array.
+
+    The extraction is the vectorised rolling construction: the code of the
+    k-mer starting at position ``i+1`` is the code at ``i`` shifted left by
+    two bits, masked, plus the next base.  Implemented with a cumulative
+    polynomial evaluation so there is no Python-level loop over positions.
+    """
+    codes2bit = encode_sequence(seq).astype(np.uint64)
+    n = codes2bit.size
+    k = spec.k
+    if n < k:
+        return np.empty(0, dtype=np.uint64)
+    # Sliding windows over the 2-bit codes: shape (n-k+1, k) view, then a
+    # dot product with the per-position place values collapses each window
+    # into a single integer.  uint64 arithmetic wraps safely because
+    # 2*k <= 62 bits.
+    windows = np.lib.stride_tricks.sliding_window_view(codes2bit, k)
+    weights = (np.uint64(1) << (np.uint64(2) * np.arange(k - 1, -1, -1, dtype=np.uint64)))
+    kmers = (windows * weights).sum(axis=1, dtype=np.uint64)
+    if spec.canonical:
+        kmers = canonicalize_codes(kmers, k)
+    return kmers
+
+
+def extract_kmers_with_positions(seq: str, spec: KmerSpec) -> tuple[np.ndarray, np.ndarray]:
+    """Extract (codes, positions) for every k-mer of a read.
+
+    Positions are the 0-based offsets of the k-mer's first base in the read —
+    the "location metadata" that stage 2 of the pipeline ships along with each
+    k-mer instance (§7).
+    """
+    codes = extract_kmer_codes(seq, spec)
+    positions = np.arange(codes.size, dtype=np.int64)
+    return codes, positions
+
+
+def extract_kmers_with_strand(seq: str, spec: KmerSpec
+                              ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Extract (canonical codes, positions, is_forward) for every k-mer.
+
+    ``is_forward[i]`` is True when the canonical representative equals the
+    k-mer as it literally appears in the read, False when the canonical form
+    is its reverse complement.  The pipeline ships this orientation bit with
+    every occurrence so the alignment stage can put cross-strand read pairs
+    into a consistent orientation before extending the seed (reads are
+    sequenced from either strand of the genome).
+    """
+    raw = extract_kmer_codes(seq, KmerSpec(k=spec.k, canonical=False))
+    positions = np.arange(raw.size, dtype=np.int64)
+    if raw.size == 0:
+        return raw, positions, np.empty(0, dtype=bool)
+    rc = reverse_complement_code(raw, spec.k)
+    canonical = np.minimum(raw, rc)
+    is_forward = canonical == raw
+    return canonical, positions, is_forward
+
+
+def iter_kmers(seq: str, k: int, canonical: bool = False) -> Iterator[str]:
+    """Yield k-mer strings of *seq* in order (reference implementation).
+
+    Used by tests as a slow oracle against the vectorised extraction.
+    """
+    spec = KmerSpec(k=k, canonical=False)
+    codes = extract_kmer_codes(seq, spec)
+    for code in codes:
+        s = kmer_code_to_string(int(code), k)
+        if canonical:
+            c = canonical_code(int(code), k)
+            s = kmer_code_to_string(c, k)
+        yield s

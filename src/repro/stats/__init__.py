@@ -1,0 +1,38 @@
+"""Statistics helpers: load balance, scaling efficiency, spectra, and quality.
+
+These are the metrics the paper's evaluation section reports:
+
+* load imbalance (max over mean of per-rank times/work), Figure 8,
+* strong-scaling efficiency and speedup relative to one node, Figures 4,
+  11 and 12,
+* k-mer frequency spectra and overlap statistics used to validate the
+  synthetic data sets against the paper's stated data characteristics,
+* overlap recall/precision against the simulator's ground truth (the
+  "ground truth is known" quality comparisons BELLA emphasises).
+"""
+
+from repro.stats.load_balance import load_imbalance, per_node_imbalance
+from repro.stats.scaling import (
+    efficiency_series,
+    speedup_series,
+    strong_scaling_efficiency,
+)
+from repro.stats.histograms import (
+    kmer_spectrum,
+    overlap_count_histogram,
+    read_length_histogram,
+)
+from repro.stats.quality import overlap_recall_precision, OverlapQuality
+
+__all__ = [
+    "load_imbalance",
+    "per_node_imbalance",
+    "efficiency_series",
+    "speedup_series",
+    "strong_scaling_efficiency",
+    "kmer_spectrum",
+    "overlap_count_histogram",
+    "read_length_histogram",
+    "overlap_recall_precision",
+    "OverlapQuality",
+]

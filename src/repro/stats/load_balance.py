@@ -1,0 +1,44 @@
+"""Load-imbalance metrics.
+
+The paper's Figure 8 metric is "maximum per rank alignment stage times over
+average times across ranks (1.0 is perfect)" — implemented here over any
+per-rank quantity (wall time, work units, bytes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def load_imbalance(per_rank: np.ndarray) -> float:
+    """Max-over-mean imbalance of a per-rank quantity (1.0 = perfectly balanced).
+
+    Empty or all-zero inputs return 1.0 (there is nothing to imbalance).
+    """
+    values = np.asarray(per_rank, dtype=np.float64)
+    if values.size == 0:
+        return 1.0
+    mean = values.mean()
+    if mean <= 0:
+        return 1.0
+    return float(values.max() / mean)
+
+
+def per_node_imbalance(per_rank: np.ndarray, ranks_per_node: int) -> float:
+    """Imbalance after aggregating ranks onto their nodes.
+
+    Cross-platform projections care about node-level balance (a node is the
+    unit that owns a network injection port and a memory system), so the
+    per-rank values are summed per node before the max/mean ratio.
+    """
+    values = np.asarray(per_rank, dtype=np.float64)
+    if ranks_per_node <= 0:
+        raise ValueError("ranks_per_node must be positive")
+    if values.size == 0:
+        return 1.0
+    if values.size % ranks_per_node != 0:
+        raise ValueError(
+            f"{values.size} ranks do not divide evenly into nodes of {ranks_per_node}"
+        )
+    per_node = values.reshape(-1, ranks_per_node).sum(axis=1)
+    return load_imbalance(per_node)

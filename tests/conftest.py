@@ -1,0 +1,66 @@
+"""Shared fixtures: small synthetic data sets and pipeline configurations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.data.datasets import DatasetSpec, generate_dataset
+from repro.data.genome import GenomeSpec
+from repro.data.reads import ReadSimSpec
+from repro.seq.kmer import KmerSpec
+from repro.seq.records import Read, ReadSet
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """A deterministic RNG for ad-hoc test data."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def micro_dataset():
+    """A very small workload (3 kbp genome, ~40 reads) for fast integration tests."""
+    spec = DatasetSpec(
+        name="micro",
+        genome=GenomeSpec(length=3000, repeat_fraction=0.0, seed=5),
+        reads=ReadSimSpec(coverage=12.0, mean_read_length=900, min_read_length=400,
+                          error_rate=0.08, seed=6),
+    )
+    return generate_dataset(spec)
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small-but-realistic workload (6 kbp genome, ~80 reads) with repeats."""
+    spec = DatasetSpec(
+        name="small",
+        genome=GenomeSpec(length=6000, repeat_fraction=0.05, repeat_length=200, seed=15),
+        reads=ReadSimSpec(coverage=15.0, mean_read_length=1000, min_read_length=400,
+                          error_rate=0.10, seed=16),
+    )
+    return generate_dataset(spec)
+
+
+@pytest.fixture(scope="session")
+def micro_config() -> PipelineConfig:
+    """Pipeline configuration tuned for the micro data set (smaller k)."""
+    return PipelineConfig(kmer=KmerSpec(k=15), coverage_hint=12.0, error_rate_hint=0.08)
+
+
+@pytest.fixture
+def toy_reads() -> ReadSet:
+    """A handful of hand-written reads with known exact overlaps."""
+    genome = (
+        "ACGTTGCAAGCTAGCTTACGGATCCGATTACAGGCTTAACGGTTACCGGATCGATCCGGTTAAC"
+        "CGGATTACCAGGTTAACCGGTTACAGGATCCGGATTAACCGGTTAACCGGATTACCGGTTAACC"
+    )
+    return ReadSet(
+        [
+            Read(name="r0", sequence=genome[0:80], true_start=0, true_end=80),
+            Read(name="r1", sequence=genome[40:120], true_start=40, true_end=120),
+            Read(name="r2", sequence=genome[60:128], true_start=60, true_end=128),
+            Read(name="r3", sequence=genome[0:48], true_start=0, true_end=48),
+        ]
+    )

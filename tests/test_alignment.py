@@ -1,0 +1,334 @@
+"""Unit and property tests for the alignment kernels (repro.align)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.banded import banded_smith_waterman
+from repro.align.batch import AlignmentTask, BatchAligner, align_task, batched_xdrop_align
+from repro.align.batched_xdrop import BatchedExtensionConfig, batched_extend
+from repro.align.results import AlignmentResult
+from repro.align.scoring import ScoringScheme
+from repro.align.smith_waterman import smith_waterman
+from repro.align.xdrop import xdrop_extend, xdrop_seed_extend
+from repro.seq.alphabet import reverse_complement
+from repro.seq.encoding import encode_sequence
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=80)
+
+
+def mutate(seq: str, rate: float, seed: int) -> str:
+    """Introduce substitutions/indels at the given rate (test helper)."""
+    rng = np.random.default_rng(seed)
+    out = []
+    for base in seq:
+        r = rng.random()
+        if r < rate * 0.4:
+            out.append("ACGT"[rng.integers(0, 4)])  # substitution
+        elif r < rate * 0.7:
+            out.append(base)
+            out.append("ACGT"[rng.integers(0, 4)])  # insertion
+        elif r < rate:
+            pass  # deletion
+        else:
+            out.append(base)
+    return "".join(out)
+
+
+class TestScoring:
+    def test_defaults(self):
+        s = ScoringScheme()
+        assert (s.match, s.mismatch, s.gap) == (1, -2, -2)
+        assert s.max_score(10) == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScoringScheme(match=0)
+        with pytest.raises(ValueError):
+            ScoringScheme(mismatch=1)
+        with pytest.raises(ValueError):
+            ScoringScheme(gap=2)
+
+
+class TestSmithWaterman:
+    def test_identical(self):
+        result = smith_waterman("ACGTACGT", "ACGTACGT")
+        assert result.score == 8
+        assert result.cells == 64
+
+    def test_empty(self):
+        assert smith_waterman("", "ACGT").score == 0
+        assert smith_waterman("ACGT", "").score == 0
+
+    def test_contained_substring(self):
+        result = smith_waterman("TTTACGTACGTTT", "ACGTACG", traceback=True)
+        assert result.score == 7
+        assert result.aligned_a == "ACGTACG"
+        assert result.aligned_b == "ACGTACG"
+
+    def test_no_similarity(self):
+        assert smith_waterman("AAAAAAAA", "CCCCCCCC").score == 0
+
+    def test_single_mismatch(self):
+        # Nine aligned columns with one substitution: 8 matches - 2 = 6 under
+        # the default (+1, -2, -2) scheme.
+        result = smith_waterman("ACGTTTGCA", "ACGATTGCA")
+        assert result.score == 6
+
+    def test_gap_handling(self):
+        result = smith_waterman("ACGTACGT", "ACGACGT")  # one deletion
+        assert result.score == 5  # 7 matches - one gap (-2)
+
+    def test_traceback_properties(self):
+        a, b = "ACGGTACGTTACG", "ACGTACGTTACG"
+        result = smith_waterman(a, b, traceback=True)
+        assert result.aligned_a is not None and result.aligned_b is not None
+        # §2's formal alignment properties:
+        assert len(result.aligned_a) == len(result.aligned_b)
+        assert all(not (x == "-" and y == "-")
+                   for x, y in zip(result.aligned_a, result.aligned_b))
+        assert result.aligned_a.replace("-", "") == a[result.start_a:result.end_a]
+        assert result.aligned_b.replace("-", "") == b[result.start_b:result.end_b]
+
+    def test_traceback_score_consistent(self):
+        a, b = "GATTACAGATTACA", "GATTTACAGATACA"
+        result = smith_waterman(a, b, traceback=True)
+        scoring = ScoringScheme()
+        recomputed = 0
+        for x, y in zip(result.aligned_a, result.aligned_b):
+            if x == "-" or y == "-":
+                recomputed += scoring.gap
+            elif x == y:
+                recomputed += scoring.match
+            else:
+                recomputed += scoring.mismatch
+        assert recomputed == result.score
+
+    @given(dna.filter(lambda s: len(s) >= 4))
+    @settings(max_examples=40)
+    def test_self_alignment_is_perfect(self, seq):
+        assert smith_waterman(seq, seq).score == len(seq)
+
+    @given(dna, dna)
+    @settings(max_examples=40)
+    def test_symmetry_of_score(self, a, b):
+        assert smith_waterman(a, b).score == smith_waterman(b, a).score
+
+    @given(dna, dna)
+    @settings(max_examples=40)
+    def test_score_bounded(self, a, b):
+        score = smith_waterman(a, b).score
+        assert 0 <= score <= min(len(a), len(b))
+
+
+class TestBanded:
+    def test_matches_full_when_band_covers_all(self):
+        a, b = "ACGGTACGTTACGGAT", "ACGTACGTTACGGTAT"
+        full = smith_waterman(a, b).score
+        banded = banded_smith_waterman(a, b, band=len(b)).score
+        assert banded == full
+
+    def test_narrow_band_is_lower_or_equal(self):
+        a = "ACGTACGTACGTACGT"
+        b = "TTTTTTTT" + a  # optimal alignment far off diagonal 0
+        narrow = banded_smith_waterman(a, b, band=2).score
+        wide = banded_smith_waterman(a, b, band=32).score
+        assert narrow <= wide
+
+    def test_diagonal_recentering(self):
+        a = "ACGTACGTACGTACGT"
+        b = "TTTTTTTT" + a
+        off = banded_smith_waterman(a, b, band=4, diagonal=8).score
+        assert off == len(a)
+
+    def test_cells_bounded_by_band(self):
+        a, b = "A" * 100, "A" * 100
+        result = banded_smith_waterman(a, b, band=5)
+        assert result.cells <= 100 * 11
+
+    def test_invalid_band(self):
+        with pytest.raises(ValueError):
+            banded_smith_waterman("ACGT", "ACGT", band=0)
+
+    def test_empty(self):
+        assert banded_smith_waterman("", "ACGT").score == 0
+
+
+class TestXdropScalar:
+    def test_extend_identical(self):
+        a = encode_sequence("ACGTACGTAC")
+        result = xdrop_extend(a, a.copy(), ScoringScheme(), xdrop=10)
+        assert result.score == 10
+        assert result.length_a == 10
+        assert result.length_b == 10
+
+    def test_extend_stops_on_divergence(self):
+        a = encode_sequence("ACGTACGT" + "A" * 40)
+        b = encode_sequence("ACGTACGT" + "C" * 40)
+        result = xdrop_extend(a, b, ScoringScheme(), xdrop=5)
+        assert result.score == 8
+        assert result.length_a <= 16
+        # Far fewer cells than the full DP — the early-exit property.
+        assert result.cells < len(a) * len(b) / 4
+
+    def test_extend_empty(self):
+        assert xdrop_extend(np.empty(0, dtype=np.uint8), encode_sequence("ACG"),
+                            ScoringScheme(), 10).score == 0
+
+    def test_seed_extend_recovers_overlap(self):
+        genome = ("ACGGATTACCAGGTTAACCGGTTACAGGATCCGGATTAACCGGTTAACCGGATTACCGGTTAACC"
+                  "GATTACAGGCTTAACGGTTACCGGATCGATCCGGTTAACACGTTGCAAGCTAGCTTACGGATCC")
+        a = genome[:90]
+        b = genome[50:]
+        # Shared exact 17-mer at a[60:77] == genome[60:77] == b[10:27].
+        result = xdrop_seed_extend(a, b, seed_a=60, seed_b=10, k=17, xdrop=20)
+        assert result.score >= 35  # covers most of the 40-base true overlap
+        assert result.start_a <= 52
+        assert result.end_a == 90
+
+    def test_seed_extend_invalid_seed(self):
+        with pytest.raises(ValueError):
+            xdrop_seed_extend("ACGT", "ACGT", seed_a=3, seed_b=0, k=4)
+
+    def test_noisy_overlap_score_scales_with_length(self):
+        rng = np.random.default_rng(11)
+        core = "".join("ACGT"[i] for i in rng.integers(0, 4, size=400))
+        a = core
+        b = mutate(core, 0.15, seed=3)
+        result = xdrop_seed_extend(a, b, seed_a=0, seed_b=0, k=1, xdrop=30)
+        assert result.score > 100
+
+
+class TestBatchedXdrop:
+    def test_matches_scalar_on_identical_sequences(self):
+        seqs = ["ACGTACGTACGTACGT", "GATTACAGATTACAGATTACA", "CCCCGGGGTTTTAAAA"]
+        a_enc = [encode_sequence(s) for s in seqs]
+        results = batched_extend(a_enc, [a.copy() for a in a_enc], ScoringScheme(),
+                                 BatchedExtensionConfig(xdrop=10, band=9))
+        for seq, res in zip(seqs, results):
+            assert res.score == len(seq)
+            assert res.length_a == len(seq)
+
+    def test_empty_inputs(self):
+        assert batched_extend([], [], ScoringScheme(), BatchedExtensionConfig()) == []
+        res = batched_extend([np.empty(0, dtype=np.uint8)], [encode_sequence("ACG")],
+                             ScoringScheme(), BatchedExtensionConfig())
+        assert res[0].score == 0
+
+    def test_divergent_pairs_terminate_early(self):
+        rng = np.random.default_rng(7)
+        a = [encode_sequence("".join("ACGT"[i] for i in rng.integers(0, 4, size=400)))]
+        b = [encode_sequence("".join("ACGT"[i] for i in rng.integers(0, 4, size=400)))]
+        res = batched_extend(a, b, ScoringScheme(), BatchedExtensionConfig(xdrop=10, band=17))
+        assert res[0].cells < 400 * 17 / 2  # stopped long before the end
+
+    def test_mixed_batch_isolated(self):
+        # One perfect pair and one hopeless pair in the same batch must not
+        # influence each other.
+        good = encode_sequence("ACGTACGTACGTACGTACGT")
+        bad_a = encode_sequence("AAAAAAAAAAAAAAAAAAAA")
+        bad_b = encode_sequence("CCCCCCCCCCCCCCCCCCCC")
+        res = batched_extend([good, bad_a], [good.copy(), bad_b], ScoringScheme(),
+                             BatchedExtensionConfig(xdrop=10, band=9))
+        assert res[0].score == 20
+        assert res[1].score == 0
+
+    def test_close_to_scalar_on_noisy_overlaps(self):
+        rng = np.random.default_rng(5)
+        tasks = []
+        for i in range(10):
+            core = "".join("ACGT"[j] for j in rng.integers(0, 4, size=300))
+            tasks.append((core, mutate(core, 0.12, seed=i)))
+        enc_a = [encode_sequence(a) for a, _ in tasks]
+        enc_b = [encode_sequence(b) for _, b in tasks]
+        batched = batched_extend(enc_a, enc_b, ScoringScheme(),
+                                 BatchedExtensionConfig(xdrop=25, band=33))
+        for (a, b), res in zip(tasks, batched):
+            scalar = xdrop_extend(encode_sequence(a), encode_sequence(b),
+                                  ScoringScheme(), xdrop=25)
+            # The banded batch kernel may differ slightly from the unbounded
+            # scalar extension but must be in the same ballpark.
+            assert res.score >= 0.7 * scalar.score
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BatchedExtensionConfig(xdrop=0)
+        with pytest.raises(ValueError):
+            BatchedExtensionConfig(band=1)
+
+
+class TestBatchAligner:
+    def _sequences(self):
+        rng = np.random.default_rng(21)
+        genome = "".join("ACGT"[i] for i in rng.integers(0, 4, size=600))
+        return {
+            0: genome[:400],
+            1: mutate(genome[200:], 0.1, seed=1),
+            2: reverse_complement(genome[150:450]),
+        }
+
+    def test_align_single_task(self):
+        seqs = self._sequences()
+        aligner = BatchAligner(sequences=seqs, kernel="xdrop", k=17)
+        task = AlignmentTask(rid_a=0, rid_b=1, seed_pos_a=210, seed_pos_b=10)
+        result = aligner.align(task)
+        assert result.score > 50
+        assert aligner.stats.alignments == 1
+        assert aligner.stats.cells > 0
+
+    def test_align_all_uses_batched_path(self):
+        seqs = self._sequences()
+        aligner = BatchAligner(sequences=seqs, kernel="xdrop", k=17)
+        tasks = [
+            AlignmentTask(rid_a=0, rid_b=1, seed_pos_a=210, seed_pos_b=10),
+            AlignmentTask(rid_a=0, rid_b=1, seed_pos_a=300, seed_pos_b=100),
+        ]
+        results = aligner.align_all(tasks)
+        assert len(results) == 2
+        assert aligner.stats.alignments == 2
+        assert all(r.score > 30 for r in results)
+
+    def test_cross_strand_task(self):
+        seqs = self._sequences()
+        # Read 2 is the reverse complement of genome[150:450]; the k-mer at
+        # genome position 200 appears at RC coordinate 300 - (200-150) - 17.
+        rc_pos = 300 - (200 - 150) - 17
+        task = AlignmentTask(rid_a=0, rid_b=2, seed_pos_a=200, seed_pos_b=rc_pos,
+                             same_strand=False)
+        scalar = align_task(task, seqs, kernel="xdrop", k=17)
+        assert scalar.score > 80
+        batched = batched_xdrop_align([task, task], seqs, k=17)
+        assert batched[0].score > 80
+
+    def test_kernel_choices(self):
+        seqs = self._sequences()
+        task = AlignmentTask(rid_a=0, rid_b=1, seed_pos_a=210, seed_pos_b=10)
+        for kernel in ("xdrop", "banded", "full"):
+            result = align_task(task, seqs, kernel=kernel, k=17)
+            assert result.score > 0
+            assert result.kernel in ("xdrop", "banded", "smith_waterman")
+
+    def test_missing_read_raises(self):
+        with pytest.raises(KeyError):
+            align_task(AlignmentTask(0, 99, 0, 0), {0: "ACGT"}, k=2)
+
+    def test_invalid_kernel(self):
+        with pytest.raises(ValueError):
+            BatchAligner(sequences={}, kernel="bogus")
+
+    def test_min_score_accepts_counter(self):
+        seqs = {0: "ACGT" * 50, 1: "TTTT" * 50}
+        aligner = BatchAligner(sequences=seqs, kernel="xdrop", k=4, min_score=30)
+        aligner.align(AlignmentTask(0, 1, 0, 0))
+        assert aligner.stats.alignments == 1
+        assert aligner.stats.accepted == 0
+
+    def test_result_identity_helper(self):
+        result = AlignmentResult(score=3, start_a=0, end_a=4, start_b=0, end_b=4,
+                                 cells=16, kernel="smith_waterman",
+                                 aligned_a="ACGT", aligned_b="ACTT")
+        assert result.identity() == pytest.approx(0.75)
+        assert result.span_a == 4
+        no_tb = AlignmentResult(score=3, start_a=0, end_a=4, start_b=0, end_b=4,
+                                cells=16, kernel="xdrop")
+        assert no_tb.identity() is None

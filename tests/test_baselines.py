@@ -1,0 +1,65 @@
+"""Tests for the baselines and cross-validation against the pipeline."""
+
+import pytest
+
+from repro.baselines.bruteforce import brute_force_alignments, brute_force_overlaps
+from repro.baselines.daligner import DalignerConfig, DalignerLikeOverlapper
+from repro.core.driver import run_dibella
+from repro.stats.quality import overlap_recall_precision
+
+
+class TestBruteForce:
+    def test_refuses_large_sets(self, micro_dataset):
+        with pytest.raises(ValueError):
+            brute_force_overlaps(micro_dataset.reads, max_reads=5)
+
+    def test_finds_known_overlaps(self, toy_reads):
+        # r0/r1, r1/r2, r0/r2 and r0/r3 genuinely overlap; r2/r3 do not.
+        overlaps = brute_force_overlaps(toy_reads, min_score=30, max_reads=10)
+        assert (0, 1) in overlaps
+        assert (0, 3) in overlaps
+        assert (2, 3) not in overlaps
+
+    def test_alignment_results_have_scores(self, toy_reads):
+        alignments = brute_force_alignments(toy_reads, min_score=30, max_reads=10)
+        assert all(r.score >= 30 for r in alignments.values())
+
+
+class TestDalignerBaseline:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DalignerConfig(block_size=0)
+        with pytest.raises(ValueError):
+            DalignerConfig(max_kmer_freq=1)
+        with pytest.raises(ValueError):
+            DalignerConfig(min_shared_kmers=0)
+
+    def test_runs_and_times_phases(self, micro_dataset):
+        baseline = DalignerLikeOverlapper(DalignerConfig(k=15, block_size=32))
+        result = baseline.run(micro_dataset.reads)
+        assert result.n_alignments > 0
+        assert len(result.overlap_pairs) > 0
+        assert result.seconds_sort_merge > 0
+        assert result.seconds_alignment > 0
+        assert result.total_seconds == pytest.approx(
+            result.seconds_sort_merge + result.seconds_alignment)
+
+    def test_agrees_with_pipeline_on_true_overlaps(self, micro_dataset, micro_config):
+        """Both detectors should recover most ground-truth overlaps."""
+        truth = micro_dataset.true_overlaps(min_overlap=400)
+        baseline = DalignerLikeOverlapper(DalignerConfig(k=15, block_size=64))
+        baseline_quality = overlap_recall_precision(
+            baseline.run(micro_dataset.reads).overlap_pairs, truth)
+        pipeline_quality = overlap_recall_precision(
+            run_dibella(micro_dataset.reads, config=micro_config,
+                        ranks_per_node=2).overlap_pairs(), truth)
+        assert baseline_quality.recall > 0.85
+        assert pipeline_quality.recall > 0.85
+
+    def test_block_decomposition_invariant(self, micro_dataset):
+        """Changing the block size must not change the detected pairs."""
+        small_blocks = DalignerLikeOverlapper(DalignerConfig(k=15, block_size=16))
+        big_blocks = DalignerLikeOverlapper(DalignerConfig(k=15, block_size=1024))
+        pairs_small = small_blocks.run(micro_dataset.reads).overlap_pairs
+        pairs_big = big_blocks.run(micro_dataset.reads).overlap_pairs
+        assert pairs_small == pairs_big

@@ -1,0 +1,160 @@
+"""Unit and property tests for repro.seq.kmer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.seq.alphabet import reverse_complement
+from repro.seq.kmer import (
+    KmerSpec,
+    canonical_code,
+    canonicalize_codes,
+    extract_kmer_codes,
+    extract_kmers_with_positions,
+    extract_kmers_with_strand,
+    iter_kmers,
+    kmer_code_to_string,
+    kmer_string_to_code,
+    reverse_complement_code,
+)
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=150)
+kvals = st.integers(min_value=2, max_value=21)
+
+
+class TestKmerSpec:
+    def test_defaults(self):
+        spec = KmerSpec()
+        assert spec.k == 17
+        assert spec.canonical
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KmerSpec(k=0)
+        with pytest.raises(ValueError):
+            KmerSpec(k=32)
+
+    def test_kmers_in(self):
+        spec = KmerSpec(k=5)
+        assert spec.kmers_in(10) == 6
+        assert spec.kmers_in(5) == 1
+        assert spec.kmers_in(4) == 0
+
+    def test_code_mask(self):
+        assert KmerSpec(k=3).code_mask == 0b111111
+
+
+class TestCodeConversion:
+    def test_known_values(self):
+        assert kmer_string_to_code("A") == 0
+        assert kmer_string_to_code("T") == 3
+        assert kmer_string_to_code("AC") == 1
+        assert kmer_string_to_code("CA") == 4
+
+    def test_roundtrip_fixed(self):
+        for s in ("ACGT", "TTTT", "GATTACA", "A" * 31):
+            assert kmer_code_to_string(kmer_string_to_code(s), len(s)) == s
+
+    def test_too_long(self):
+        with pytest.raises(ValueError):
+            kmer_string_to_code("A" * 32)
+
+    @given(st.integers(min_value=1, max_value=31).flatmap(
+        lambda k: st.text(alphabet="ACGT", min_size=k, max_size=k)))
+    def test_roundtrip_property(self, kmer):
+        assert kmer_code_to_string(kmer_string_to_code(kmer), len(kmer)) == kmer
+
+
+class TestReverseComplementCode:
+    def test_matches_string_revcomp(self):
+        for s in ("ACGT", "AAAC", "GATTACA", "TTGCA"):
+            code = kmer_string_to_code(s)
+            rc_code = reverse_complement_code(code, len(s))
+            assert kmer_code_to_string(rc_code, len(s)) == reverse_complement(s)
+
+    @given(st.integers(min_value=2, max_value=21).flatmap(
+        lambda k: st.text(alphabet="ACGT", min_size=k, max_size=k)))
+    def test_involution(self, kmer):
+        k = len(kmer)
+        code = kmer_string_to_code(kmer)
+        assert reverse_complement_code(reverse_complement_code(code, k), k) == code
+
+    def test_vectorised_matches_scalar(self):
+        codes = np.array([kmer_string_to_code(s) for s in ("ACGTA", "TTTTT", "GATTA")],
+                         dtype=np.uint64)
+        vec = reverse_complement_code(codes, 5)
+        for i, c in enumerate(codes):
+            assert int(vec[i]) == reverse_complement_code(int(c), 5)
+
+
+class TestCanonical:
+    def test_canonical_is_min(self):
+        code = kmer_string_to_code("TTTTT")
+        rc = reverse_complement_code(code, 5)
+        assert canonical_code(code, 5) == min(code, rc)
+
+    def test_strand_invariance(self):
+        s = "ACGGATCGAT"
+        spec = KmerSpec(k=5, canonical=True)
+        fwd = set(extract_kmer_codes(s, spec).tolist())
+        rev = set(extract_kmer_codes(reverse_complement(s), spec).tolist())
+        assert fwd == rev
+
+    @given(dna.filter(lambda s: len(s) >= 6))
+    @settings(max_examples=50)
+    def test_strand_invariance_property(self, seq):
+        spec = KmerSpec(k=6, canonical=True)
+        fwd = set(extract_kmer_codes(seq, spec).tolist())
+        rev = set(extract_kmer_codes(reverse_complement(seq), spec).tolist())
+        assert fwd == rev
+
+
+class TestExtraction:
+    def test_count(self):
+        spec = KmerSpec(k=4, canonical=False)
+        assert extract_kmer_codes("ACGTACGT", spec).size == 5
+
+    def test_too_short(self):
+        spec = KmerSpec(k=10, canonical=False)
+        assert extract_kmer_codes("ACGT", spec).size == 0
+
+    def test_values_match_slow_path(self):
+        seq = "ACGGATTACAGGT"
+        spec = KmerSpec(k=4, canonical=False)
+        fast = [kmer_code_to_string(int(c), 4) for c in extract_kmer_codes(seq, spec)]
+        slow = [seq[i : i + 4] for i in range(len(seq) - 3)]
+        assert fast == slow
+
+    @given(dna, kvals)
+    @settings(max_examples=60)
+    def test_extraction_matches_slicing(self, seq, k):
+        spec = KmerSpec(k=k, canonical=False)
+        fast = [kmer_code_to_string(int(c), k) for c in extract_kmer_codes(seq, spec)]
+        slow = [seq[i : i + k] for i in range(max(0, len(seq) - k + 1))]
+        assert fast == slow
+
+    def test_positions(self):
+        codes, pos = extract_kmers_with_positions("ACGTACG", KmerSpec(k=3))
+        assert pos.tolist() == [0, 1, 2, 3, 4]
+        assert codes.size == 5
+
+    def test_iter_kmers(self):
+        assert list(iter_kmers("ACGTA", 3)) == ["ACG", "CGT", "GTA"]
+
+
+class TestStrandExtraction:
+    def test_strand_flags(self):
+        seq = "ACGGATTAC"
+        spec = KmerSpec(k=5)
+        codes, positions, strands = extract_kmers_with_strand(seq, spec)
+        assert codes.size == positions.size == strands.size == 5
+        # Canonical codes must equal the canonicalised forward codes.
+        raw = extract_kmer_codes(seq, KmerSpec(k=5, canonical=False))
+        np.testing.assert_array_equal(codes, canonicalize_codes(raw, 5))
+        # Where the flag says "forward", the canonical code equals the raw code.
+        np.testing.assert_array_equal(strands, codes == raw)
+
+    def test_palindrome_is_forward(self):
+        # ACGT's reverse complement is itself; the flag must be True.
+        _, _, strands = extract_kmers_with_strand("ACGT", KmerSpec(k=4))
+        assert strands.tolist() == [True]

@@ -1,0 +1,285 @@
+"""Unit and property tests for repro.kmers (hashing, Bloom, HLL, counter, hash table)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kmers.bloom import BloomFilter
+from repro.kmers.counter import KmerCounter, count_kmers, kmer_frequency_histogram
+from repro.kmers.hashing import hash_with_seed, mix64, owner_of
+from repro.kmers.hashtable import KmerHashTablePartition, RetainedKmers
+from repro.kmers.hyperloglog import HyperLogLog
+from repro.seq.kmer import KmerSpec
+
+codes_arrays = st.lists(st.integers(min_value=0, max_value=2**62), min_size=0, max_size=300).map(
+    lambda xs: np.array(xs, dtype=np.uint64)
+)
+
+
+class TestHashing:
+    def test_mix64_deterministic_and_scalar(self):
+        assert mix64(12345) == mix64(12345)
+        assert isinstance(mix64(1), int)
+
+    def test_mix64_distinct(self):
+        values = mix64(np.arange(1000, dtype=np.uint64))
+        assert np.unique(values).size == 1000
+
+    def test_seeded_hashes_differ(self):
+        x = np.arange(100, dtype=np.uint64)
+        assert not np.array_equal(hash_with_seed(x, 1), hash_with_seed(x, 2))
+
+    def test_owner_range_and_balance(self):
+        codes = np.arange(100_000, dtype=np.uint64)
+        owners = owner_of(codes, 16)
+        assert owners.min() >= 0 and owners.max() < 16
+        counts = np.bincount(owners, minlength=16)
+        assert counts.min() > 0.8 * counts.mean()
+
+    def test_owner_scalar(self):
+        assert 0 <= owner_of(123, 7) < 7
+
+    def test_owner_invalid(self):
+        with pytest.raises(ValueError):
+            owner_of(np.arange(3, dtype=np.uint64), 0)
+
+    @given(codes_arrays, st.integers(min_value=1, max_value=64))
+    @settings(max_examples=30)
+    def test_owner_is_stable(self, codes, n_ranks):
+        a = owner_of(codes, n_ranks)
+        b = owner_of(codes, n_ranks)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestBloomFilter:
+    def test_sizing(self):
+        bloom = BloomFilter.for_expected_items(10_000, fp_rate=0.01)
+        assert bloom.n_bits > 10_000
+        assert bloom.n_hashes >= 4
+
+    def test_no_false_negatives(self):
+        rng = np.random.default_rng(0)
+        codes = rng.integers(0, 2**62, size=5000).astype(np.uint64)
+        bloom = BloomFilter.for_expected_items(5000)
+        bloom.insert_many(codes)
+        assert bloom.contains_many(codes).all()
+
+    def test_second_insert_reports_present(self):
+        codes = np.arange(100, dtype=np.uint64)
+        bloom = BloomFilter.for_expected_items(1000)
+        first = bloom.insert_many(codes)
+        second = bloom.insert_many(codes)
+        assert not first.all()  # most were new the first time
+        assert second.all()
+
+    def test_within_batch_duplicates_detected(self):
+        bloom = BloomFilter.for_expected_items(1000)
+        codes = np.array([5, 7, 5, 9, 7, 5], dtype=np.uint64)
+        seen = bloom.insert_many(codes)
+        # The 3rd, 5th and 6th entries repeat earlier entries of the batch.
+        assert seen[2] and seen[4] and seen[5]
+
+    def test_false_positive_rate_reasonable(self):
+        rng = np.random.default_rng(1)
+        inserted = rng.integers(0, 2**62, size=20_000).astype(np.uint64)
+        probes = rng.integers(0, 2**62, size=20_000).astype(np.uint64)
+        bloom = BloomFilter.for_expected_items(20_000, fp_rate=0.05)
+        bloom.insert_many(inserted)
+        fp = bloom.contains_many(probes).mean()
+        assert fp < 0.15
+
+    def test_empty_batch(self):
+        bloom = BloomFilter(n_bits=128)
+        assert bloom.insert_many(np.empty(0, dtype=np.uint64)).size == 0
+
+    def test_scalar_contains(self):
+        bloom = BloomFilter(n_bits=1024, n_hashes=3)
+        bloom.insert_many(np.array([42], dtype=np.uint64))
+        assert bloom.contains(42)
+
+    def test_fill_ratio_monotone(self):
+        bloom = BloomFilter(n_bits=4096, n_hashes=2)
+        before = bloom.fill_ratio()
+        bloom.insert_many(np.arange(100, dtype=np.uint64))
+        assert bloom.fill_ratio() > before
+        assert 0 <= bloom.estimated_fp_rate() <= 1
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            BloomFilter(n_bits=0)
+        with pytest.raises(ValueError):
+            BloomFilter.for_expected_items(0)
+        with pytest.raises(ValueError):
+            BloomFilter.for_expected_items(10, fp_rate=2.0)
+
+    @given(codes_arrays)
+    @settings(max_examples=30)
+    def test_never_false_negative_property(self, codes):
+        bloom = BloomFilter.for_expected_items(max(1, codes.size))
+        bloom.insert_many(codes)
+        if codes.size:
+            assert bloom.contains_many(codes).all()
+
+
+class TestHyperLogLog:
+    def test_estimate_accuracy(self):
+        rng = np.random.default_rng(2)
+        codes = rng.integers(0, 2**62, size=50_000).astype(np.uint64)
+        hll = HyperLogLog(precision=14)
+        hll.add_many(codes)
+        distinct = np.unique(codes).size
+        assert abs(hll.estimate() - distinct) / distinct < 0.05
+
+    def test_duplicates_do_not_inflate(self):
+        codes = np.arange(1000, dtype=np.uint64)
+        hll = HyperLogLog(precision=12)
+        for _ in range(5):
+            hll.add_many(codes)
+        assert abs(hll.estimate() - 1000) / 1000 < 0.1
+
+    def test_small_range_correction(self):
+        hll = HyperLogLog(precision=10)
+        hll.add_many(np.arange(10, dtype=np.uint64))
+        assert 5 <= hll.estimate() <= 20
+
+    def test_merge_equals_union(self):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 2**62, size=20_000).astype(np.uint64)
+        b = rng.integers(0, 2**62, size=20_000).astype(np.uint64)
+        ha, hb, hu = HyperLogLog(12), HyperLogLog(12), HyperLogLog(12)
+        ha.add_many(a)
+        hb.add_many(b)
+        hu.add_many(np.concatenate([a, b]))
+        merged = ha | hb
+        assert abs(merged.estimate() - hu.estimate()) / hu.estimate() < 0.01
+
+    def test_register_roundtrip(self):
+        hll = HyperLogLog(precision=8)
+        hll.add_many(np.arange(500, dtype=np.uint64))
+        clone = HyperLogLog.from_registers(hll.registers())
+        assert clone.estimate() == hll.estimate()
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(precision=2)
+        with pytest.raises(ValueError):
+            HyperLogLog(12).merge(HyperLogLog(13))
+
+
+class TestCounter:
+    def test_count_kmers(self):
+        codes, counts = count_kmers(np.array([3, 1, 3, 3, 2], dtype=np.uint64))
+        np.testing.assert_array_equal(codes, [1, 2, 3])
+        np.testing.assert_array_equal(counts, [1, 1, 3])
+
+    def test_streaming_counter(self):
+        counter = KmerCounter(KmerSpec(k=3, canonical=False))
+        counter.add_read("ACGTACGT")
+        counter.add_read("ACG")
+        assert counter.total_kmers == 7
+        assert counter.count_of(int(np.uint64(0b000110))) >= 1  # "ACG" == codes 0,1,2
+        assert counter.distinct_kmers > 0
+
+    def test_singleton_fraction_and_retained(self):
+        counter = KmerCounter(KmerSpec(k=2, canonical=False))
+        counter.add_codes(np.array([1, 1, 2, 3, 3, 3], dtype=np.uint64))
+        assert counter.singleton_fraction() == pytest.approx(1 / 3)
+        codes, counts = counter.retained(min_count=2, max_count=2)
+        np.testing.assert_array_equal(codes, [1])
+
+    def test_histogram(self):
+        hist = kmer_frequency_histogram(np.array([1, 1, 2, 5, 100]), max_bin=8)
+        assert hist[1] == 2
+        assert hist[2] == 1
+        assert hist[8] == 1  # clamped
+        with pytest.raises(ValueError):
+            kmer_frequency_histogram(np.array([1]), max_bin=0)
+
+
+class TestHashTablePartition:
+    def _partition_with(self, occurrences):
+        """occurrences: list of (code, rid, pos, strand)."""
+        part = KmerHashTablePartition()
+        codes = np.array([o[0] for o in occurrences], dtype=np.uint64)
+        part.add_candidate_keys(codes)
+        part.finalize_keys()
+        part.add_occurrences(
+            codes,
+            np.array([o[1] for o in occurrences]),
+            np.array([o[2] for o in occurrences]),
+            np.array([o[3] for o in occurrences], dtype=bool),
+        )
+        return part
+
+    def test_keys_and_membership(self):
+        part = KmerHashTablePartition()
+        part.add_candidate_keys(np.array([5, 9, 5, 7], dtype=np.uint64))
+        assert part.finalize_keys() == 3
+        mask = part.has_keys(np.array([5, 6, 7, 8, 9], dtype=np.uint64))
+        np.testing.assert_array_equal(mask, [True, False, True, False, True])
+
+    def test_requires_finalized_keys(self):
+        part = KmerHashTablePartition()
+        with pytest.raises(RuntimeError):
+            part.has_keys(np.array([1], dtype=np.uint64))
+        with pytest.raises(RuntimeError):
+            _ = part.n_keys
+
+    def test_non_key_occurrences_dropped(self):
+        part = KmerHashTablePartition()
+        part.add_candidate_keys(np.array([10], dtype=np.uint64))
+        part.finalize_keys()
+        stored = part.add_occurrences(
+            np.array([10, 11], dtype=np.uint64),
+            np.array([0, 1]), np.array([5, 6]), np.array([True, True]),
+        )
+        assert stored == 1
+
+    def test_finalize_groups_and_filters(self):
+        occurrences = [
+            (100, 0, 3, True), (100, 1, 7, False), (100, 2, 9, True),   # count 3
+            (200, 3, 1, True),                                          # singleton
+            (300, 4, 0, True), (300, 5, 2, True), (300, 6, 4, True),
+            (300, 7, 6, True), (300, 8, 8, True),                       # count 5
+        ]
+        part = self._partition_with(occurrences)
+        retained = part.finalize(min_count=2, max_count=4)
+        assert retained.n_kmers == 1  # only code 100 survives (300 exceeds max)
+        code, rids, positions, strands = retained.group(0)
+        assert code == 100
+        np.testing.assert_array_equal(sorted(rids), [0, 1, 2])
+        assert retained.counts().tolist() == [3]
+        assert strands.dtype == bool
+
+    def test_finalize_empty(self):
+        part = KmerHashTablePartition()
+        part.finalize_keys()
+        retained = part.finalize()
+        assert retained.n_kmers == 0
+        assert retained.n_occurrences == 0
+
+    def test_finalize_validation(self):
+        part = KmerHashTablePartition()
+        part.finalize_keys()
+        with pytest.raises(ValueError):
+            part.finalize(min_count=0)
+        with pytest.raises(ValueError):
+            part.finalize(min_count=3, max_count=2)
+
+    def test_add_occurrences_length_mismatch(self):
+        part = KmerHashTablePartition()
+        part.add_candidate_keys(np.array([1], dtype=np.uint64))
+        part.finalize_keys()
+        with pytest.raises(ValueError):
+            part.add_occurrences(np.array([1], dtype=np.uint64), np.array([0, 1]),
+                                 np.array([0]))
+
+    def test_memory_accounting(self):
+        part = KmerHashTablePartition()
+        part.add_candidate_keys(np.arange(100, dtype=np.uint64))
+        part.finalize_keys()
+        assert part.memory_nbytes() > 0
+
+    def test_retained_empty_constructor(self):
+        empty = RetainedKmers.empty()
+        assert empty.n_kmers == 0 and empty.n_occurrences == 0

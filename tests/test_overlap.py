@@ -1,0 +1,238 @@
+"""Unit tests for repro.overlap (pairs, seeds, graph)."""
+
+import numpy as np
+import pytest
+
+import networkx as nx
+
+from repro.align.results import AlignmentResult
+from repro.kmers.hashtable import RetainedKmers
+from repro.overlap.graph import build_overlap_graph, overlap_graph_summary
+from repro.overlap.pairs import (
+    OverlapRecord,
+    PairBatch,
+    choose_owner,
+    consolidate_pairs,
+    generate_pairs,
+    owner_heuristic_oddeven,
+)
+from repro.overlap.seeds import SeedStrategy, select_seeds
+
+
+def make_retained(groups):
+    """Build a RetainedKmers from {code: [(rid, pos, strand), ...]}."""
+    codes, offsets, rids, positions, strands = [], [0], [], [], []
+    for code in sorted(groups):
+        occs = groups[code]
+        codes.append(code)
+        for rid, pos, strand in occs:
+            rids.append(rid)
+            positions.append(pos)
+            strands.append(strand)
+        offsets.append(len(rids))
+    return RetainedKmers(
+        codes=np.array(codes, dtype=np.uint64),
+        offsets=np.array(offsets, dtype=np.int64),
+        rids=np.array(rids, dtype=np.int64),
+        positions=np.array(positions, dtype=np.int64),
+        strands=np.array(strands, dtype=bool),
+    )
+
+
+class TestPairBatch:
+    def test_matrix_roundtrip(self):
+        batch = PairBatch(
+            rid_a=np.array([0, 1]), rid_b=np.array([2, 3]),
+            pos_a=np.array([5, 6]), pos_b=np.array([7, 8]),
+            same_strand=np.array([1, 0]),
+        )
+        back = PairBatch.from_matrix(batch.to_matrix())
+        np.testing.assert_array_equal(back.rid_a, batch.rid_a)
+        np.testing.assert_array_equal(back.same_strand, batch.same_strand)
+
+    def test_empty_and_concatenate(self):
+        empty = PairBatch.empty()
+        assert len(empty) == 0
+        combined = PairBatch.concatenate([empty, PairBatch.from_matrix(
+            np.array([[0, 1, 2, 3, 1]], dtype=np.int64))])
+        assert len(combined) == 1
+
+    def test_from_matrix_validation(self):
+        with pytest.raises(ValueError):
+            PairBatch.from_matrix(np.zeros((2, 3), dtype=np.int64))
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            PairBatch(rid_a=np.array([0]), rid_b=np.array([1, 2]),
+                      pos_a=np.array([0]), pos_b=np.array([0]),
+                      same_strand=np.array([1]))
+
+
+class TestOwnerHeuristics:
+    def test_oddeven_matches_algorithm1(self):
+        # Exhaustively check the rule for a small RID range.
+        for ra in range(8):
+            for rb in range(8):
+                if ra == rb:
+                    continue
+                expected = (ra % 2 == 0 and ra > rb + 1) or (ra % 2 == 1 and ra < rb + 1)
+                got = owner_heuristic_oddeven(np.array([ra]), np.array([rb]))[0]
+                assert got == expected, (ra, rb)
+
+    def test_choose_owner_maps_through_read_owner(self):
+        read_owner = np.array([0, 0, 1, 1, 2, 2])
+        ra = np.array([0, 2, 5])
+        rb = np.array([3, 4, 1])
+        dest = choose_owner(ra, rb, read_owner, heuristic="min")
+        np.testing.assert_array_equal(dest, read_owner[ra])
+
+    def test_choose_owner_heuristics_valid_ranks(self):
+        rng = np.random.default_rng(3)
+        read_owner = rng.integers(0, 4, size=100)
+        ra = rng.integers(0, 100, size=500)
+        rb = rng.integers(0, 100, size=500)
+        for heuristic in ("oddeven", "min", "random"):
+            dest = choose_owner(ra, rb, read_owner, heuristic=heuristic)
+            assert dest.min() >= 0 and dest.max() < 4
+
+    def test_choose_owner_roughly_balances(self):
+        # With uniformly distributed RIDs, the odd/even rule should send a
+        # near-equal share of tasks to each read's owner.
+        rng = np.random.default_rng(4)
+        n_reads, n_ranks = 1000, 8
+        read_owner = np.repeat(np.arange(n_ranks), n_reads // n_ranks)
+        ra = rng.integers(0, n_reads, size=20_000)
+        rb = rng.integers(0, n_reads, size=20_000)
+        keep = ra != rb
+        dest = choose_owner(ra[keep], rb[keep], read_owner, heuristic="oddeven")
+        counts = np.bincount(dest, minlength=n_ranks)
+        assert counts.max() / counts.mean() < 1.2
+
+    def test_unknown_heuristic(self):
+        with pytest.raises(ValueError):
+            choose_owner(np.array([0]), np.array([1]), np.array([0, 0]), heuristic="x")
+
+
+class TestGeneratePairs:
+    def test_all_pairs_per_kmer(self):
+        retained = make_retained({100: [(0, 5, True), (1, 9, True), (2, 3, False)]})
+        batch = generate_pairs(retained)
+        pairs = set(zip(batch.rid_a.tolist(), batch.rid_b.tolist()))
+        assert pairs == {(0, 1), (0, 2), (1, 2)}
+
+    def test_pair_count_bound(self):
+        # A k-mer of multiplicity m contributes at most m(m-1)/2 pairs (§8).
+        occs = [(rid, rid * 10, True) for rid in range(6)]
+        retained = make_retained({7: occs})
+        batch = generate_pairs(retained)
+        assert len(batch) == 15
+
+    def test_same_read_occurrences_skipped(self):
+        retained = make_retained({3: [(5, 0, True), (5, 40, True)]})
+        assert len(generate_pairs(retained)) == 0
+
+    def test_rid_order_normalised_with_positions(self):
+        retained = make_retained({9: [(4, 11, True), (2, 7, True)]})
+        batch = generate_pairs(retained)
+        assert batch.rid_a[0] == 2 and batch.rid_b[0] == 4
+        assert batch.pos_a[0] == 7 and batch.pos_b[0] == 11
+
+    def test_strand_combination(self):
+        retained = make_retained({9: [(0, 1, True), (1, 2, False)]})
+        batch = generate_pairs(retained)
+        assert batch.same_strand[0] == 0
+        retained2 = make_retained({9: [(0, 1, False), (1, 2, False)]})
+        assert generate_pairs(retained2).same_strand[0] == 1
+
+    def test_empty(self):
+        assert len(generate_pairs(RetainedKmers.empty())) == 0
+
+
+class TestConsolidation:
+    def test_groups_by_pair_and_dedups_seeds(self):
+        batch = PairBatch(
+            rid_a=np.array([0, 0, 0, 1]),
+            rid_b=np.array([1, 1, 1, 2]),
+            pos_a=np.array([10, 10, 50, 7]),
+            pos_b=np.array([20, 20, 60, 9]),
+            same_strand=np.array([1, 1, 1, 0]),
+        )
+        records = consolidate_pairs(batch)
+        assert len(records) == 2
+        first = records[0]
+        assert (first.rid_a, first.rid_b) == (0, 1)
+        assert first.n_seeds == 2  # duplicate (10, 20) removed
+        assert records[1].seed_same_strand.tolist() == [False]
+
+    def test_empty(self):
+        assert consolidate_pairs(PairBatch.empty()) == []
+
+
+class TestSeedSelection:
+    def test_one_seed(self):
+        pos_a = np.array([500, 100, 900])
+        pos_b = np.array([5, 1, 9])
+        chosen = select_seeds(pos_a, pos_b, SeedStrategy.one_seed())
+        assert chosen.tolist() == [1]  # smallest position on read A
+
+    def test_min_separation(self):
+        pos_a = np.array([0, 10, 1200, 1190, 2500])
+        pos_b = np.zeros(5, dtype=np.int64)
+        chosen = select_seeds(pos_a, pos_b, SeedStrategy.separated_by(1000))
+        assert pos_a[chosen].tolist() == [0, 1190, 2500]
+
+    def test_min_separation_d_equals_k(self):
+        pos_a = np.arange(0, 100, 5)
+        pos_b = np.zeros_like(pos_a)
+        chosen = select_seeds(pos_a, pos_b, SeedStrategy.separated_by(17))
+        diffs = np.diff(np.sort(pos_a[chosen]))
+        assert (diffs >= 17).all()
+
+    def test_max_seeds_cap(self):
+        pos_a = np.arange(0, 10_000, 1000)
+        pos_b = np.zeros_like(pos_a)
+        strategy = SeedStrategy.separated_by(100, max_seeds=3)
+        assert select_seeds(pos_a, pos_b, strategy).size == 3
+
+    def test_empty(self):
+        assert select_seeds(np.array([]), np.array([]), SeedStrategy.one_seed()).size == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SeedStrategy(mode="bogus")
+        with pytest.raises(ValueError):
+            SeedStrategy(mode="min_separation", min_separation=0)
+        with pytest.raises(ValueError):
+            select_seeds(np.array([1]), np.array([1, 2]), SeedStrategy.one_seed())
+
+
+class TestOverlapGraph:
+    def _records(self):
+        return [
+            OverlapRecord(0, 1, np.array([5]), np.array([9]), np.array([True])),
+            OverlapRecord(1, 2, np.array([7]), np.array([3]), np.array([True])),
+            OverlapRecord(3, 4, np.array([1]), np.array([2]), np.array([False])),
+        ]
+
+    def test_basic_graph(self):
+        graph = build_overlap_graph(self._records())
+        assert graph.number_of_nodes() == 5
+        assert graph.number_of_edges() == 3
+        assert graph[0][1]["n_seeds"] == 1
+
+    def test_graph_with_alignment_filter(self):
+        alignments = {
+            (0, 1): AlignmentResult(200, 0, 200, 0, 200, 0, "xdrop"),
+            (1, 2): AlignmentResult(20, 0, 20, 0, 20, 0, "xdrop"),
+        }
+        graph = build_overlap_graph(self._records(), alignments=alignments, min_score=50)
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(1, 2)   # below min_score
+        assert not graph.has_edge(3, 4)   # no alignment available
+
+    def test_summary(self):
+        graph = build_overlap_graph(self._records())
+        summary = overlap_graph_summary(graph)
+        assert summary["n_components"] == 2
+        assert summary["largest_component_fraction"] == pytest.approx(3 / 5)
+        assert overlap_graph_summary(nx.Graph())["n_nodes"] == 0.0

@@ -1,0 +1,180 @@
+"""Integration tests: the full diBELLA pipeline end to end.
+
+These tests exercise the real stack — synthetic reads, the simulated SPMD
+runtime, all four stages — and check the scientific invariants the system
+must satisfy: detected overlaps against ground truth, consistency of the
+global counters, and invariance of the *output* under different rank counts
+(the distributed decomposition must not change the answer).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import DibellaPipeline
+from repro.core.driver import run_dibella
+from repro.core.result import STAGE_NAMES
+from repro.mpisim.topology import Topology
+from repro.overlap.seeds import SeedStrategy
+from repro.seq.kmer import KmerSpec
+from repro.stats.quality import overlap_recall_precision
+
+
+@pytest.fixture(scope="module")
+def micro_run(micro_dataset, micro_config):
+    """One pipeline run on the micro data set, shared by the checks below."""
+    return run_dibella(micro_dataset.reads, config=micro_config,
+                       n_nodes=1, ranks_per_node=2)
+
+
+class TestEndToEnd:
+    def test_finds_true_overlaps(self, micro_dataset, micro_run):
+        truth = micro_dataset.true_overlaps(min_overlap=400)
+        quality = overlap_recall_precision(micro_run.overlap_pairs(), truth)
+        assert quality.n_true > 10
+        assert quality.recall > 0.9
+
+    def test_counters_consistent(self, micro_run):
+        counters = micro_run.counters
+        assert counters["kmers_parsed"] == counters["kmers_received_bloom"]
+        assert counters["kmers_parsed"] == counters["kmers_received_hashtable"]
+        assert counters["retained_kmers"] <= counters["distinct_keys"]
+        assert counters["occurrences_stored"] >= counters["retained_occurrences"]
+        assert micro_run.n_alignments == counters["alignment_tasks"]
+        assert counters["accepted_alignments"] <= counters["alignments"]
+
+    def test_one_seed_means_one_alignment_per_pair(self, micro_run):
+        assert micro_run.n_alignments == micro_run.n_overlap_pairs
+
+    def test_stage_records_complete(self, micro_run):
+        assert [s.name for s in micro_run.stages] == list(STAGE_NAMES)
+        for record in micro_run.stages:
+            assert record.work_per_rank.shape == (2,)
+            assert record.total_work >= 0
+            assert record.load_imbalance() >= 1.0
+        assert micro_run.stage("bloom").includes_first_alltoallv
+        assert not micro_run.stage("alignment").includes_first_alltoallv
+
+    def test_trace_has_all_phases(self, micro_run):
+        phases = set(micro_run.trace.phases())
+        assert {"bloom_exchange", "hashtable_exchange", "overlap_exchange",
+                "alignment_exchange"} <= phases
+        assert micro_run.trace.total_bytes() > 0
+
+    def test_alignment_table_matches_accepted(self, micro_run):
+        table = micro_run.alignment_table()
+        assert table["rid_a"].size == micro_run.counters["accepted_alignments"]
+        assert (table["rid_a"] < table["rid_b"]).all()
+        assert (table["score"] >= 0).all()
+
+    def test_summary_and_wall_time(self, micro_run):
+        summary = micro_run.summary()
+        assert summary["wall_seconds"] > 0
+        assert summary["overlap_pairs"] == micro_run.n_overlap_pairs
+
+    def test_stage_wall_seconds(self, micro_run):
+        walls = micro_run.stage_wall_seconds()
+        assert set(walls) == set(STAGE_NAMES)
+        assert walls["alignment"]["compute"] > 0
+
+
+class TestDecompositionInvariance:
+    """The distributed decomposition must not change the scientific output."""
+
+    @pytest.mark.parametrize("n_nodes,ranks_per_node", [(1, 1), (1, 3), (2, 2)])
+    def test_overlap_pairs_invariant(self, micro_dataset, micro_config,
+                                     n_nodes, ranks_per_node):
+        baseline = run_dibella(micro_dataset.reads, config=micro_config,
+                               n_nodes=1, ranks_per_node=2)
+        other = run_dibella(micro_dataset.reads, config=micro_config,
+                            n_nodes=n_nodes, ranks_per_node=ranks_per_node)
+        assert other.overlap_pairs() == baseline.overlap_pairs()
+        assert other.n_retained_kmers == baseline.n_retained_kmers
+        assert other.counters["distinct_keys"] == baseline.counters["distinct_keys"]
+
+    def test_task_counts_balanced(self, micro_dataset, micro_config):
+        result = run_dibella(micro_dataset.reads, config=micro_config,
+                             n_nodes=2, ranks_per_node=2)
+        tasks = np.array([r.counters.get("alignments", 0) for r in result.rank_reports])
+        assert tasks.sum() == result.n_alignments
+        # Algorithm 1 + uniform RIDs: task counts per rank within ~50% of the mean.
+        assert tasks.max() <= 1.6 * tasks.mean()
+
+
+class TestConfigurationEffects:
+    def test_more_seeds_means_more_alignments(self, micro_dataset):
+        base = PipelineConfig(kmer=KmerSpec(k=15), coverage_hint=12, error_rate_hint=0.08)
+        one = run_dibella(micro_dataset.reads, config=base, ranks_per_node=2)
+        all_seeds = base.with_seed_strategy(SeedStrategy.separated_by(15))
+        many = run_dibella(micro_dataset.reads, config=all_seeds, ranks_per_node=2)
+        assert many.n_alignments > one.n_alignments
+        assert many.n_overlap_pairs == one.n_overlap_pairs
+
+    def test_min_alignment_score_filters_output(self, micro_dataset, micro_config):
+        from dataclasses import replace
+        strict = replace(micro_config, min_alignment_score=150)
+        loose = replace(micro_config, min_alignment_score=0)
+        strict_run = run_dibella(micro_dataset.reads, config=strict, ranks_per_node=2)
+        loose_run = run_dibella(micro_dataset.reads, config=loose, ranks_per_node=2)
+        assert (strict_run.counters["accepted_alignments"]
+                < loose_run.counters["accepted_alignments"])
+        assert strict_run.n_alignments == loose_run.n_alignments
+
+    def test_high_freq_threshold_filters_repeats(self, small_dataset):
+        permissive = PipelineConfig(kmer=KmerSpec(k=15), high_freq_threshold=4096,
+                                    coverage_hint=15, error_rate_hint=0.10)
+        strict = PipelineConfig(kmer=KmerSpec(k=15), high_freq_threshold=8,
+                                coverage_hint=15, error_rate_hint=0.10)
+        run_perm = run_dibella(small_dataset.reads, config=permissive, ranks_per_node=2)
+        run_strict = run_dibella(small_dataset.reads, config=strict, ranks_per_node=2)
+        assert run_strict.n_retained_kmers < run_perm.n_retained_kmers
+        assert run_strict.n_overlap_pairs <= run_perm.n_overlap_pairs
+
+    def test_streaming_batches_do_not_change_output(self, micro_dataset, micro_config):
+        from dataclasses import replace
+        big_batches = run_dibella(micro_dataset.reads, config=micro_config, ranks_per_node=2)
+        tiny_batches = run_dibella(micro_dataset.reads,
+                                   config=replace(micro_config, batch_reads=5),
+                                   ranks_per_node=2)
+        assert tiny_batches.overlap_pairs() == big_batches.overlap_pairs()
+        # More supersteps means more collective calls in the k-mer stages.
+        assert (tiny_batches.trace.phase_traffic("bloom_exchange").collective_calls
+                >= big_batches.trace.phase_traffic("bloom_exchange").collective_calls)
+
+    def test_empty_readset_rejected(self, micro_config):
+        from repro.seq.records import ReadSet
+        pipeline = DibellaPipeline(config=micro_config, topology=Topology.single_node(2))
+        with pytest.raises(ValueError):
+            pipeline.run(ReadSet())
+
+
+class TestConfigValidation:
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(min_kmer_count=0)
+        with pytest.raises(ValueError):
+            PipelineConfig(high_freq_threshold=1, min_kmer_count=2)
+        with pytest.raises(ValueError):
+            PipelineConfig(bloom_fp_rate=0.0)
+        with pytest.raises(ValueError):
+            PipelineConfig(batch_reads=0)
+        with pytest.raises(ValueError):
+            PipelineConfig(kernel="bogus")
+        with pytest.raises(ValueError):
+            PipelineConfig(partition_strategy="bogus")
+        with pytest.raises(ValueError):
+            PipelineConfig(owner_heuristic="bogus")
+
+    def test_resolve_high_freq_threshold(self):
+        explicit = PipelineConfig(high_freq_threshold=42)
+        assert explicit.resolve_high_freq_threshold() == 42
+        derived = PipelineConfig(coverage_hint=100, error_rate_hint=0.15)
+        default = PipelineConfig()
+        assert derived.resolve_high_freq_threshold() > 0
+        assert derived.resolve_high_freq_threshold() >= default.resolve_high_freq_threshold()
+
+    def test_with_helpers(self):
+        config = PipelineConfig()
+        assert config.with_kernel("banded").kernel == "banded"
+        strategy = SeedStrategy.separated_by(500)
+        assert config.with_seed_strategy(strategy).seed_strategy == strategy

@@ -1,0 +1,65 @@
+"""Unit tests for repro.seq.records."""
+
+import numpy as np
+import pytest
+
+from repro.seq.records import Read, ReadSet
+
+
+class TestRead:
+    def test_basic(self):
+        read = Read(name="r", sequence="ACGT")
+        assert len(read) == 4
+        assert read.nbytes == 4
+        assert not read.has_truth()
+
+    def test_quality_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Read(name="r", sequence="ACGT", quality="II")
+
+    def test_truth(self):
+        read = Read(name="r", sequence="ACGT", true_start=10, true_end=14)
+        assert read.has_truth()
+
+
+class TestReadSet:
+    def test_construction_and_rids(self):
+        rs = ReadSet([Read(name="a", sequence="ACGT"), Read(name="b", sequence="GGTT")])
+        assert len(rs) == 2
+        assert rs[0].name == "a"
+        assert rs[1].name == "b"
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            ReadSet([Read(name="a", sequence="ACGT"), Read(name="a", sequence="GG")])
+
+    def test_add_returns_rid(self):
+        rs = ReadSet()
+        assert rs.add(Read(name="a", sequence="AC")) == 0
+        assert rs.add(Read(name="b", sequence="GT")) == 1
+
+    def test_totals(self):
+        rs = ReadSet([Read(name="a", sequence="ACGT"), Read(name="b", sequence="GGTTAA")])
+        assert rs.total_bases == 10
+        assert rs.mean_read_length == 5.0
+        np.testing.assert_array_equal(rs.read_lengths(), [4, 6])
+
+    def test_empty_stats(self):
+        rs = ReadSet()
+        assert rs.total_bases == 0
+        assert rs.mean_read_length == 0.0
+
+    def test_total_kmers(self):
+        rs = ReadSet([Read(name="a", sequence="ACGTACGT"), Read(name="b", sequence="AC")])
+        # 8 - 3 + 1 = 6 from the first read, 0 from the too-short second.
+        assert rs.total_kmers(3) == 6
+
+    def test_subset(self):
+        rs = ReadSet([Read(name=f"r{i}", sequence="ACGT") for i in range(5)])
+        sub = rs.subset([1, 3])
+        assert len(sub) == 2
+        assert sub.names() == ["r1", "r3"]
+
+    def test_iteration(self):
+        rs = ReadSet([Read(name="a", sequence="AC"), Read(name="b", sequence="GT")])
+        assert [r.name for r in rs] == ["a", "b"]

@@ -1,0 +1,106 @@
+"""Unit tests for the BELLA reliable-k-mer model (repro.kmers.reliable)."""
+
+import pytest
+
+from repro.kmers.reliable import (
+    estimate_distinct_kmers,
+    estimate_total_kmers,
+    expected_singleton_fraction,
+    high_frequency_threshold,
+    optimal_k,
+    probability_correct_kmer,
+    probability_shared_kmer,
+    reliable_range,
+)
+
+
+class TestProbabilities:
+    def test_correct_kmer_probability(self):
+        assert probability_correct_kmer(0.0, 17) == 1.0
+        assert probability_correct_kmer(0.15, 17) == pytest.approx(0.85**17)
+
+    def test_correct_probability_decreases_with_k(self):
+        assert probability_correct_kmer(0.1, 21) < probability_correct_kmer(0.1, 11)
+
+    def test_shared_kmer_probability_monotone_in_overlap(self):
+        p_short = probability_shared_kmer(0.15, 17, 500)
+        p_long = probability_shared_kmer(0.15, 17, 5000)
+        assert p_long > p_short
+
+    def test_shared_kmer_zero_when_overlap_too_short(self):
+        assert probability_shared_kmer(0.1, 17, 10) == 0.0
+
+    def test_shared_kmer_high_for_typical_settings(self):
+        # The paper's operating point: 17-mers, 10-15% error, >= 2 kbp overlap.
+        assert probability_shared_kmer(0.15, 17, 2000) > 0.99
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            probability_correct_kmer(1.5, 17)
+        with pytest.raises(ValueError):
+            probability_correct_kmer(0.1, 0)
+
+
+class TestOptimalK:
+    def test_typical_long_read_value(self):
+        # For PacBio-like error rates the paper says "17-mers are typical".
+        k = optimal_k(0.12, min_overlap=2000)
+        assert 15 <= k <= 23
+
+    def test_lower_error_allows_longer_k(self):
+        assert optimal_k(0.01, min_overlap=2000) > optimal_k(0.20, min_overlap=2000)
+
+    def test_extreme_error_falls_back_to_kmin(self):
+        assert optimal_k(0.6, min_overlap=300, k_min=9) == 9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optimal_k(0.1, target_probability=1.5)
+        with pytest.raises(ValueError):
+            optimal_k(0.1, k_min=20, k_max=10)
+
+
+class TestThresholds:
+    def test_threshold_scales_with_coverage(self):
+        m30 = high_frequency_threshold(30, 0.12, 17)
+        m100 = high_frequency_threshold(100, 0.12, 17)
+        assert m100 > m30
+        assert m30 >= 4
+
+    def test_reliable_range(self):
+        lo, hi = reliable_range(30, 0.12, 17)
+        assert lo == 2
+        assert hi == high_frequency_threshold(30, 0.12, 17)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            high_frequency_threshold(0, 0.1, 17)
+        with pytest.raises(ValueError):
+            high_frequency_threshold(30, 0.1, 17, tail_probability=0.0)
+
+
+class TestCardinalityEstimates:
+    def test_total_kmers_is_gd(self):
+        assert estimate_total_kmers(1_000_000, 30) == 30_000_000
+
+    def test_distinct_estimate_between_genome_and_total(self):
+        g, d = 1_000_000, 30
+        distinct = estimate_distinct_kmers(g, d, 0.12, 17)
+        assert g < distinct < estimate_total_kmers(g, d)
+
+    def test_singleton_fraction_matches_paper_band(self):
+        # §6: "up to 98% of k-mers from long reads are singletons".
+        frac = expected_singleton_fraction(30, 0.12, 17)
+        assert 0.90 < frac < 0.99
+
+    def test_singleton_fraction_grows_with_error(self):
+        assert (expected_singleton_fraction(30, 0.20, 17)
+                > expected_singleton_fraction(30, 0.05, 17))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_total_kmers(0, 30)
+        with pytest.raises(ValueError):
+            estimate_distinct_kmers(0, 30, 0.1, 17)
+        with pytest.raises(ValueError):
+            expected_singleton_fraction(0, 0.1, 17)

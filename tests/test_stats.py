@@ -1,0 +1,137 @@
+"""Unit tests for repro.stats."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import DatasetSpec, generate_dataset
+from repro.data.genome import GenomeSpec
+from repro.data.reads import ReadSimSpec
+from repro.stats.histograms import kmer_spectrum, overlap_count_histogram, read_length_histogram
+from repro.stats.load_balance import load_imbalance, per_node_imbalance
+from repro.stats.quality import OverlapQuality, overlap_recall_precision
+from repro.stats.scaling import (
+    efficiency_series,
+    geometric_mean,
+    speedup_series,
+    strong_scaling_efficiency,
+    throughput_series,
+)
+
+
+class TestLoadImbalance:
+    def test_perfect(self):
+        assert load_imbalance(np.array([5.0, 5.0, 5.0])) == 1.0
+
+    def test_skewed(self):
+        assert load_imbalance(np.array([10.0, 0.0])) == 2.0
+
+    def test_degenerate(self):
+        assert load_imbalance(np.array([])) == 1.0
+        assert load_imbalance(np.zeros(4)) == 1.0
+
+    def test_per_node(self):
+        # Ranks are imbalanced but nodes (pairs of ranks) are perfectly balanced.
+        per_rank = np.array([10.0, 0.0, 5.0, 5.0])
+        assert load_imbalance(per_rank) == 2.0
+        assert per_node_imbalance(per_rank, ranks_per_node=2) == 1.0
+
+    def test_per_node_validation(self):
+        with pytest.raises(ValueError):
+            per_node_imbalance(np.ones(3), ranks_per_node=2)
+        with pytest.raises(ValueError):
+            per_node_imbalance(np.ones(4), ranks_per_node=0)
+
+
+class TestScaling:
+    def test_strong_scaling_efficiency(self):
+        assert strong_scaling_efficiency(100.0, 25.0, 4) == 1.0
+        assert strong_scaling_efficiency(100.0, 50.0, 4) == 0.5
+
+    def test_speedup_and_efficiency_series(self):
+        times = {1: 100.0, 2: 60.0, 4: 40.0}
+        speedups = speedup_series(times)
+        assert speedups[1] == 1.0
+        assert speedups[4] == pytest.approx(2.5)
+        eff = efficiency_series(times)
+        assert eff[1] == 1.0
+        assert eff[4] == pytest.approx(2.5 / 4)
+
+    def test_superlinear_allowed(self):
+        eff = efficiency_series({1: 100.0, 2: 40.0})
+        assert eff[2] > 1.0
+
+    def test_throughput_series(self):
+        tp = throughput_series(1000.0, {1: 10.0, 2: 5.0})
+        assert tp[1] == 100.0
+        assert tp[2] == 200.0
+
+    def test_empty_series(self):
+        assert speedup_series({}) == {}
+        assert efficiency_series({}) == {}
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            strong_scaling_efficiency(1.0, 1.0, 0)
+        with pytest.raises(ValueError):
+            throughput_series(-1.0, {1: 1.0})
+
+
+class TestQuality:
+    def test_recall_precision(self):
+        truth = {(0, 1): 500, (1, 2): 800, (2, 3): 900}
+        detected = {(0, 1), (2, 3), (5, 6)}
+        q = overlap_recall_precision(detected, truth)
+        assert q.recall == pytest.approx(2 / 3)
+        assert q.precision == pytest.approx(2 / 3)
+        assert 0 < q.f1 < 1
+
+    def test_pair_order_normalised(self):
+        q = overlap_recall_precision({(1, 0)}, {(0, 1): 100})
+        assert q.recall == 1.0 and q.precision == 1.0
+
+    def test_degenerate(self):
+        assert overlap_recall_precision(set(), {}).recall == 1.0
+        assert overlap_recall_precision(set(), {}).precision == 1.0
+        assert OverlapQuality(0, 0, 0).f1 >= 0
+
+
+class TestHistograms:
+    @pytest.fixture(scope="class")
+    def reads(self):
+        spec = DatasetSpec(
+            name="hist",
+            genome=GenomeSpec(length=4000, seed=1),
+            reads=ReadSimSpec(coverage=10, mean_read_length=800, min_read_length=300,
+                              error_rate=0.12, seed=2),
+        )
+        return generate_dataset(spec).reads
+
+    def test_kmer_spectrum_singleton_dominated(self, reads):
+        spectrum = kmer_spectrum(reads, k=17)
+        # Long-read k-mer sets are dominated by erroneous singletons (§6).
+        assert spectrum["singleton_fraction"] > 0.5
+        assert spectrum["total_kmers"] > spectrum["distinct_kmers"]
+        assert spectrum["histogram"].sum() == spectrum["distinct_kmers"]
+
+    def test_read_length_histogram(self, reads):
+        summary = read_length_histogram(reads, bin_width=500)
+        assert summary["mean"] > 0
+        assert summary["n50"] >= summary["histogram"].argmax() * 500
+
+    def test_read_length_empty(self):
+        from repro.seq.records import ReadSet
+        assert read_length_histogram(ReadSet())["n50"] == 0
+
+    def test_overlap_count_histogram(self):
+        hist = overlap_count_histogram(np.array([0, 1, 1, 5, 200]), max_bin=10)
+        assert hist[0] == 1
+        assert hist[1] == 2
+        assert hist[10] == 1
+        with pytest.raises(ValueError):
+            overlap_count_histogram(np.array([1]), max_bin=0)

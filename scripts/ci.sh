@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Minimal CI for the diBELLA reproduction.
+#
+# Tiers:
+#   fast  — unit tests only (-m "not slow"), a few seconds; run on every change
+#   slow  — the end-to-end pipeline / harness / baseline tests
+#   bench — the overlap microbenchmark perf gate (>= 5x over the loop oracle)
+#
+# Usage:
+#   scripts/ci.sh          # everything (the tier-1 gate plus the perf gate)
+#   scripts/ci.sh fast     # just the fast tier
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+tier="${1:-all}"
+
+echo "== fast tier: unit tests =="
+python -m pytest tests -m "not slow" -q
+
+if [ "$tier" = "all" ]; then
+    echo "== slow tier: end-to-end pipeline tests =="
+    python -m pytest tests -m slow -q
+
+    echo "== perf gate: overlap microbenchmark =="
+    python benchmarks/bench_overlap_microbench.py
+fi

@@ -18,7 +18,11 @@ from typing import Callable, Iterable, Mapping
 import numpy as np
 
 from repro.align.banded import banded_smith_waterman
-from repro.align.batched_xdrop import BatchedExtensionConfig, batched_extend
+from repro.align.batched_xdrop import (
+    DEFAULT_XDROP_BAND,
+    BatchedExtensionConfig,
+    batched_extend,
+)
 from repro.align.results import AlignmentResult
 from repro.align.scoring import ScoringScheme
 from repro.align.smith_waterman import smith_waterman
@@ -50,6 +54,73 @@ class AlignmentTask:
     seed_pos_a: int
     seed_pos_b: int
     same_strand: bool = True
+
+
+@dataclass(frozen=True)
+class TaskBatch:
+    """A flat batch of alignment tasks, structure-of-arrays style.
+
+    The overlap stage emits one of these per rank instead of a Python list of
+    :class:`AlignmentTask` objects, so task construction and the
+    alignment-stage bookkeeping (which reads are needed, which results were
+    accepted) stay vectorised.  The batch iterates as ``AlignmentTask``
+    objects for the kernels and any caller that wants per-task views.
+    """
+
+    rid_a: np.ndarray        # (n,) int64
+    rid_b: np.ndarray        # (n,) int64
+    seed_pos_a: np.ndarray   # (n,) int64
+    seed_pos_b: np.ndarray   # (n,) int64
+    same_strand: np.ndarray  # (n,) bool
+
+    def __post_init__(self) -> None:
+        sizes = {self.rid_a.size, self.rid_b.size, self.seed_pos_a.size,
+                 self.seed_pos_b.size, self.same_strand.size}
+        if len(sizes) != 1:
+            raise ValueError("all TaskBatch arrays must have the same length")
+
+    def __len__(self) -> int:
+        return int(self.rid_a.size)
+
+    def task(self, index: int) -> AlignmentTask:
+        """Materialise the *index*-th task."""
+        return AlignmentTask(
+            rid_a=int(self.rid_a[index]),
+            rid_b=int(self.rid_b[index]),
+            seed_pos_a=int(self.seed_pos_a[index]),
+            seed_pos_b=int(self.seed_pos_b[index]),
+            same_strand=bool(self.same_strand[index]),
+        )
+
+    def __iter__(self):
+        for index in range(len(self)):
+            yield self.task(index)
+
+    def rids(self) -> np.ndarray:
+        """Sorted unique RIDs referenced by any task in the batch."""
+        if len(self) == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate([self.rid_a, self.rid_b]))
+
+    @classmethod
+    def empty(cls) -> "TaskBatch":
+        z = np.empty(0, dtype=np.int64)
+        return cls(rid_a=z, rid_b=z.copy(), seed_pos_a=z.copy(), seed_pos_b=z.copy(),
+                   same_strand=np.empty(0, dtype=bool))
+
+    @classmethod
+    def from_tasks(cls, tasks: Iterable[AlignmentTask]) -> "TaskBatch":
+        """Build a batch from task objects (tests / compatibility helper)."""
+        task_list = list(tasks)
+        if not task_list:
+            return cls.empty()
+        return cls(
+            rid_a=np.array([t.rid_a for t in task_list], dtype=np.int64),
+            rid_b=np.array([t.rid_b for t in task_list], dtype=np.int64),
+            seed_pos_a=np.array([t.seed_pos_a for t in task_list], dtype=np.int64),
+            seed_pos_b=np.array([t.seed_pos_b for t in task_list], dtype=np.int64),
+            same_strand=np.array([t.same_strand for t in task_list], dtype=bool),
+        )
 
 
 @dataclass
@@ -99,7 +170,7 @@ class BatchAligner:
     k: int = 17
     scoring: ScoringScheme = field(default_factory=ScoringScheme)
     xdrop: int = 25
-    band: int = 64
+    band: int = DEFAULT_XDROP_BAND
     min_score: int = 0
     stats: BatchStats = field(default_factory=BatchStats)
 
@@ -108,7 +179,14 @@ class BatchAligner:
             raise ValueError(f"unknown kernel {self.kernel!r}")
 
     def align(self, task: AlignmentTask) -> AlignmentResult:
-        """Run one task and update the counters."""
+        """Run one task and update the counters.
+
+        Equivalent to ``align_all([task])[0]`` — in particular the x-drop
+        kernel goes through the same banded batched code path regardless of
+        batch size, so a task's score never depends on how it was batched.
+        """
+        if self.kernel == "xdrop":
+            return self.align_all([task])[0]
         result = align_task(
             task,
             self.sequences,
@@ -124,13 +202,14 @@ class BatchAligner:
     def align_all(self, tasks: Iterable[AlignmentTask]) -> list[AlignmentResult]:
         """Run every task, returning results in task order.
 
-        For the x-drop kernel the tasks are executed with the task-batched
-        banded kernel (:mod:`repro.align.batched_xdrop`), which amortises the
-        interpreter overhead over the whole batch; the other kernels run
-        task-by-task.
+        For the x-drop kernel *all* tasks — including singleton batches — are
+        executed with the task-batched banded kernel
+        (:mod:`repro.align.batched_xdrop`), which amortises the interpreter
+        overhead over the whole batch and keeps scores independent of batch
+        size; the other kernels run task-by-task.
         """
         task_list = list(tasks)
-        if self.kernel != "xdrop" or len(task_list) <= 1:
+        if self.kernel != "xdrop" or not task_list:
             return [self.align(task) for task in task_list]
         results = batched_xdrop_align(
             task_list,
@@ -152,9 +231,14 @@ def align_task(
     k: int = 17,
     scoring: ScoringScheme | None = None,
     xdrop: int = 25,
-    band: int = 64,
+    band: int = DEFAULT_XDROP_BAND,
 ) -> AlignmentResult:
-    """Align one task with the requested kernel (stateless helper)."""
+    """Align one task with the requested kernel (stateless helper).
+
+    The ``"xdrop"`` kernel here is the *unbounded* scalar reference
+    extension (:func:`repro.align.xdrop.xdrop_seed_extend`); the production
+    path used by :class:`BatchAligner` is the banded batched kernel.
+    """
     scoring = scoring or ScoringScheme()
     try:
         seq_a = sequences[task.rid_a]
@@ -192,7 +276,7 @@ def batched_xdrop_align(
     k: int = 17,
     scoring: ScoringScheme | None = None,
     xdrop: int = 25,
-    band: int = 33,
+    band: int = DEFAULT_XDROP_BAND,
 ) -> list[AlignmentResult]:
     """Run a list of tasks through the task-batched banded x-drop kernel.
 

@@ -39,13 +39,20 @@ from repro.align.scoring import ScoringScheme
 _PAD = 250
 _NEG_INF = np.int32(-(2**28))
 
+#: Default band half-width shared by every x-drop entry point.  The scalar
+#: and batched paths historically disagreed (33 vs 64), which made the same
+#: task score differently depending on batch size; everything now references
+#: this single constant (also the :class:`repro.core.config.PipelineConfig`
+#: default).
+DEFAULT_XDROP_BAND: int = 64
+
 
 @dataclass(frozen=True)
 class BatchedExtensionConfig:
     """Parameters of the batched extension kernel."""
 
     xdrop: int = 25
-    band: int = 33
+    band: int = DEFAULT_XDROP_BAND
     max_rows: int | None = None
 
     def __post_init__(self) -> None:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.align.batched_xdrop import DEFAULT_XDROP_BAND
 from repro.align.scoring import ScoringScheme
 from repro.kmers.reliable import high_frequency_threshold
 from repro.overlap.seeds import SeedStrategy
@@ -40,6 +41,10 @@ class PipelineConfig:
     bloom_fp_rate:
         Target false-positive rate when sizing each rank's Bloom-filter
         partition.
+    hll_precision:
+        Register-index bits of the HyperLogLog sketch used to estimate the
+        number of *distinct* k-mers before sizing the Bloom filter (§6,
+        eq. 2).  14 gives ~0.8% relative error at 16 KiB per rank.
     batch_reads:
         Number of local reads parsed per streaming superstep in stages 1-2 —
         the memory-bounding knob of §4.  All ranks execute the same number
@@ -63,11 +68,12 @@ class PipelineConfig:
     coverage_hint: float | None = None
     error_rate_hint: float | None = None
     bloom_fp_rate: float = 0.05
+    hll_precision: int = 14
     batch_reads: int = 2048
     seed_strategy: SeedStrategy = field(default_factory=SeedStrategy.one_seed)
     kernel: str = "xdrop"
     xdrop: int = 25
-    band: int = 64
+    band: int = DEFAULT_XDROP_BAND
     scoring: ScoringScheme = field(default_factory=ScoringScheme)
     min_alignment_score: int = 0
     partition_strategy: str = "size"
@@ -80,6 +86,8 @@ class PipelineConfig:
             raise ValueError("high_freq_threshold must be >= min_kmer_count")
         if not (0.0 < self.bloom_fp_rate < 1.0):
             raise ValueError("bloom_fp_rate must be in (0, 1)")
+        if not (4 <= self.hll_precision <= 18):
+            raise ValueError("hll_precision must be in [4, 18]")
         if self.batch_reads < 1:
             raise ValueError("batch_reads must be >= 1")
         if self.kernel not in ("xdrop", "banded", "full"):

@@ -20,7 +20,7 @@ import numpy as np
 from repro.core.config import PipelineConfig
 from repro.mpisim.topology import Topology
 from repro.mpisim.tracing import CommTrace
-from repro.overlap.pairs import OverlapRecord
+from repro.overlap.pairs import OverlapRecord, OverlapTable
 
 #: Canonical stage names, in pipeline order.
 STAGE_NAMES: tuple[str, ...] = ("bloom", "hashtable", "overlap", "alignment")
@@ -106,8 +106,9 @@ class RankReport:
     stage_exchange_seconds: dict[str, float]
     # scalar counters
     counters: dict[str, int]
-    # consolidated overlaps owned by this rank
-    overlaps: list[OverlapRecord]
+    # consolidated overlaps owned by this rank (struct-of-arrays table;
+    # iterates as OverlapRecord objects)
+    overlaps: OverlapTable
     # alignment output: parallel arrays (one entry per accepted alignment)
     aln_rid_a: np.ndarray
     aln_rid_b: np.ndarray
@@ -161,9 +162,16 @@ class PipelineResult:
             out.extend(report.overlaps)
         return out
 
+    def overlap_tables(self) -> list[OverlapTable]:
+        """Per-rank consolidated overlap tables (the flat representation)."""
+        return [report.overlaps for report in self.rank_reports]
+
     def overlap_pairs(self) -> set[tuple[int, int]]:
         """The set of overlapping (rid_a, rid_b) pairs, rid_a < rid_b."""
-        return {(o.rid_a, o.rid_b) for o in self.overlaps()}
+        pairs: set[tuple[int, int]] = set()
+        for table in self.overlap_tables():
+            pairs.update(zip(table.rid_a.tolist(), table.rid_b.tolist()))
+        return pairs
 
     def alignment_table(self) -> dict[str, np.ndarray]:
         """Accepted alignments as parallel arrays gathered across ranks."""

@@ -22,23 +22,23 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.align.batch import AlignmentTask, BatchAligner
+from repro.align.batch import BatchAligner, TaskBatch
 from repro.core.config import PipelineConfig
 from repro.core.result import RankReport
 from repro.kmers.bloom import BloomFilter
 from repro.kmers.hashing import owner_of
 from repro.kmers.hashtable import KmerHashTablePartition, RetainedKmers
+from repro.kmers.hyperloglog import HyperLogLog
 from repro.mpisim.collectives import bucket_by_destination
 from repro.mpisim.communicator import SimCommunicator
 from repro.overlap.pairs import (
-    OverlapRecord,
+    OverlapTable,
     PairBatch,
     choose_owner,
-    consolidate_pairs,
     generate_pairs,
 )
-from repro.overlap.seeds import select_seeds
-from repro.seq.kmer import extract_kmer_codes, extract_kmers_with_strand
+from repro.overlap.seeds import select_seeds_batched
+from repro.seq.kmer import extract_kmers_batch
 from repro.seq.records import ReadSet
 
 
@@ -84,8 +84,8 @@ class _RankState:
     high_freq_threshold: int
     hashtable: KmerHashTablePartition = field(default_factory=KmerHashTablePartition)
     retained: RetainedKmers | None = None
-    overlaps: list[OverlapRecord] = field(default_factory=list)
-    tasks: list[AlignmentTask] = field(default_factory=list)
+    overlaps: OverlapTable = field(default_factory=OverlapTable.empty)
+    tasks: TaskBatch = field(default_factory=TaskBatch.empty)
     timers: dict[str, _StageTimer] = field(default_factory=dict)
     work: dict[str, float] = field(default_factory=dict)
     local_bytes: dict[str, float] = field(default_factory=dict)
@@ -112,31 +112,22 @@ def _global_batch_count(comm: SimCommunicator, n_local_batches: int) -> int:
 def _extract_batch_kmers(
     readset: ReadSet, rids: list[int], config: PipelineConfig, with_positions: bool
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Extract k-mers (and optionally RIDs/positions/strands) from a batch of reads."""
-    code_chunks: list[np.ndarray] = []
-    rid_chunks: list[np.ndarray] = []
-    pos_chunks: list[np.ndarray] = []
-    strand_chunks: list[np.ndarray] = []
-    for rid in rids:
-        sequence = readset[rid].sequence
-        if with_positions:
-            codes, positions, strands = extract_kmers_with_strand(sequence, config.kmer)
-            pos_chunks.append(positions)
-            strand_chunks.append(strands)
-            rid_chunks.append(np.full(codes.size, rid, dtype=np.int64))
-        else:
-            codes = extract_kmer_codes(sequence, config.kmer)
-        code_chunks.append(codes)
-    if not code_chunks:
-        empty64 = np.empty(0, dtype=np.uint64)
-        empty_i = np.empty(0, dtype=np.int64)
-        return empty64, empty_i, empty_i, np.empty(0, dtype=bool)
-    codes = np.concatenate(code_chunks)
+    """Extract k-mers (and optionally RIDs/positions/strands) from a batch of reads.
+
+    The whole batch is encoded and scanned as one concatenated array
+    (:func:`repro.seq.kmer.extract_kmers_batch`) — no per-read Python loop.
+    """
+    empty_i = np.empty(0, dtype=np.int64)
+    if not rids:
+        return np.empty(0, dtype=np.uint64), empty_i, empty_i.copy(), np.empty(0, dtype=bool)
+    sequences = [readset[rid].sequence for rid in rids]
+    codes, read_index, positions, strands = extract_kmers_batch(
+        sequences, config.kmer, with_strand=with_positions
+    )
     if with_positions:
-        return (codes, np.concatenate(rid_chunks), np.concatenate(pos_chunks),
-                np.concatenate(strand_chunks))
-    return (codes, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
-            np.empty(0, dtype=bool))
+        rid_arr = np.asarray(rids, dtype=np.int64)[read_index]
+        return codes, rid_arr, positions, strands
+    return codes, empty_i, empty_i.copy(), np.empty(0, dtype=bool)
 
 
 # ---------------------------------------------------------------------------
@@ -149,6 +140,11 @@ def bloom_filter_stage(comm: SimCommunicator, state: _RankState) -> None:
     k-mers the filter has already (probably) seen are promoted to hash-table
     candidate keys — "if a k-mer was already present, it is also inserted
     into the local hash table partition" (§6).
+
+    The filter is sized from the number of *distinct* k-mers, estimated with
+    a HyperLogLog pre-pass over the local reads whose registers are merged
+    across ranks with one allreduce (§6, eq. 2) — sizing from the raw k-mer
+    instance count would overshoot by roughly the coverage depth.
     """
     config = state.config
     timer = state.timer("bloom")
@@ -157,9 +153,23 @@ def bloom_filter_stage(comm: SimCommunicator, state: _RankState) -> None:
     batches = _local_batches(state.local_rids, config.batch_reads)
     n_supersteps = _global_batch_count(comm, len(batches))
 
-    total_kmers = state.readset.total_kmers(config.kmer.k)
-    expected_per_rank = max(1024, total_kmers // comm.size)
-    bloom = BloomFilter.for_expected_items(expected_per_rank, fp_rate=config.bloom_fp_rate)
+    # HyperLogLog pre-pass: sketch the local k-mers, merge the registers
+    # across ranks (register-wise max == sketch union), size the filter from
+    # the distinct-cardinality estimate.
+    with timer.compute():
+        sketch = HyperLogLog(precision=config.hll_precision)
+        for rids in batches:
+            codes, _, _, _ = _extract_batch_kmers(state.readset, rids, config,
+                                                  with_positions=False)
+            sketch.add_many(codes)
+    with timer.exchange():
+        merged_registers = comm.allreduce(sketch.registers(), op="max")
+    with timer.compute():
+        distinct_estimate = HyperLogLog.from_registers(merged_registers).estimate()
+        # The owner hash spreads distinct k-mers uniformly over ranks.
+        expected_per_rank = max(1024, int(distinct_estimate / comm.size) + 1)
+        bloom = BloomFilter.for_expected_items(expected_per_rank,
+                                               fp_rate=config.bloom_fp_rate)
 
     kmers_parsed = 0
     kmers_received = 0
@@ -192,6 +202,10 @@ def bloom_filter_stage(comm: SimCommunicator, state: _RankState) -> None:
     state.counters["kmers_received_bloom"] = kmers_received
     state.counters["distinct_keys"] = n_keys
     state.counters["bloom_nbytes"] = bloom.nbytes
+    if comm.rank == 0:
+        # Identical on every rank after the allreduce; recorded once so the
+        # summed global counters report the estimate itself.
+        state.counters["hll_distinct_estimate"] = int(round(distinct_estimate))
 
 
 # ---------------------------------------------------------------------------
@@ -294,22 +308,19 @@ def overlap_stage(comm: SimCommunicator, state: _RankState) -> None:
         incoming = PairBatch.concatenate(
             [PairBatch.from_matrix(np.asarray(c)) for c in received]
         )
-        state.overlaps = consolidate_pairs(incoming)
-        # Apply the seed-selection constraint to produce alignment tasks.
-        tasks: list[AlignmentTask] = []
-        for record in state.overlaps:
-            chosen = select_seeds(record.seed_pos_a, record.seed_pos_b, config.seed_strategy)
-            for idx in chosen:
-                tasks.append(
-                    AlignmentTask(
-                        rid_a=record.rid_a,
-                        rid_b=record.rid_b,
-                        seed_pos_a=int(record.seed_pos_a[idx]),
-                        seed_pos_b=int(record.seed_pos_b[idx]),
-                        same_strand=bool(record.seed_same_strand[idx]),
-                    )
-                )
-        state.tasks = tasks
+        table = OverlapTable.from_pairs(incoming)
+        state.overlaps = table
+        # Apply the seed-selection constraint, batched over every pair at
+        # once, and gather the selected seeds into a flat task batch.
+        selected = select_seeds_batched(table, config.seed_strategy)
+        pair_of_seed = np.searchsorted(table.seed_offsets, selected, side="right") - 1
+        state.tasks = TaskBatch(
+            rid_a=table.rid_a[pair_of_seed],
+            rid_b=table.rid_b[pair_of_seed],
+            seed_pos_a=table.seed_pos_a[selected],
+            seed_pos_b=table.seed_pos_b[selected],
+            same_strand=table.seed_same_strand[selected],
+        )
 
     state.work["overlap"] = float(state.retained.n_occurrences + len(pairs))
     state.local_bytes["overlap"] = float(
@@ -333,16 +344,11 @@ def alignment_stage(comm: SimCommunicator, state: _RankState) -> BatchAligner:
     local_set = set(state.local_rids)
 
     with timer.compute():
-        needed: set[int] = set()
-        for task in state.tasks:
-            needed.add(task.rid_a)
-            needed.add(task.rid_b)
-        remote = sorted(rid for rid in needed if rid not in local_set)
+        needed = state.tasks.rids()
+        local_arr = np.asarray(state.local_rids, dtype=np.int64)
+        remote = needed[~np.isin(needed, local_arr)]
         # Group read requests by the rank owning each read.
-        request_buckets: list[list[int]] = [[] for _ in range(comm.size)]
-        for rid in remote:
-            request_buckets[int(state.read_owner[rid])].append(rid)
-        request_arrays = [np.array(b, dtype=np.int64) for b in request_buckets]
+        request_arrays = bucket_by_destination(remote, state.read_owner[remote], comm.size)
 
     with timer.exchange():
         incoming_requests = comm.alltoallv(request_arrays)
@@ -374,33 +380,26 @@ def alignment_stage(comm: SimCommunicator, state: _RankState) -> BatchAligner:
             band=config.band,
             min_score=config.min_alignment_score,
         )
-        accepted_ra: list[int] = []
-        accepted_rb: list[int] = []
-        accepted_score: list[int] = []
-        accepted_span_a: list[int] = []
-        accepted_span_b: list[int] = []
         results = aligner.align_all(state.tasks)
-        for task, result in zip(state.tasks, results):
-            if result.score >= config.min_alignment_score:
-                accepted_ra.append(task.rid_a)
-                accepted_rb.append(task.rid_b)
-                accepted_score.append(result.score)
-                accepted_span_a.append(result.span_a)
-                accepted_span_b.append(result.span_b)
+        n_results = len(results)
+        scores = np.fromiter((r.score for r in results), dtype=np.int64, count=n_results)
+        spans_a = np.fromiter((r.span_a for r in results), dtype=np.int64, count=n_results)
+        spans_b = np.fromiter((r.span_b for r in results), dtype=np.int64, count=n_results)
+        accepted = scores >= config.min_alignment_score
 
     state.work["alignment"] = float(aligner.stats.cells)
     state.local_bytes["alignment"] = float(sum(len(s) for s in sequences.values()))
     state.counters["alignments"] = aligner.stats.alignments
     state.counters["accepted_alignments"] = aligner.stats.accepted
     state.counters["dp_cells"] = aligner.stats.cells
-    state.counters["remote_reads_fetched"] = len(remote)
+    state.counters["remote_reads_fetched"] = int(remote.size)
 
     state._accepted = (  # type: ignore[attr-defined]
-        np.array(accepted_ra, dtype=np.int64),
-        np.array(accepted_rb, dtype=np.int64),
-        np.array(accepted_score, dtype=np.int64),
-        np.array(accepted_span_a, dtype=np.int64),
-        np.array(accepted_span_b, dtype=np.int64),
+        state.tasks.rid_a[accepted].astype(np.int64),
+        state.tasks.rid_b[accepted].astype(np.int64),
+        scores[accepted],
+        spans_a[accepted],
+        spans_b[accepted],
     )
     return aligner
 
@@ -419,8 +418,7 @@ def run_rank_pipeline(
     """Execute all four stages on one rank and return its report."""
     read_owner = np.empty(len(readset), dtype=np.int64)
     for rank, rids in enumerate(assignments):
-        for rid in rids:
-            read_owner[rid] = rank
+        read_owner[np.asarray(rids, dtype=np.int64)] = rank
 
     state = _RankState(
         config=config,
@@ -443,7 +441,7 @@ def run_rank_pipeline(
         stage_compute_seconds={name: t.compute_seconds for name, t in state.timers.items()},
         stage_exchange_seconds={name: t.exchange_seconds for name, t in state.timers.items()},
         counters=dict(state.counters),
-        overlaps=list(state.overlaps),
+        overlaps=state.overlaps,
         aln_rid_a=accepted[0],
         aln_rid_b=accepted[1],
         aln_score=accepted[2],

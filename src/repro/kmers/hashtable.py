@@ -195,11 +195,14 @@ class KmerHashTablePartition:
         kept_starts = group_starts[keep]
         kept_counts = counts[keep]
 
-        # Rebuild a compact occurrence array containing only retained groups.
-        take = np.concatenate(
-            [np.arange(s, s + c) for s, c in zip(kept_starts, kept_counts)]
-        ) if kept_codes.size else np.empty(0, dtype=np.int64)
+        # Rebuild a compact occurrence array containing only retained groups:
+        # a segment-wise arange built from repeat/cumsum, no per-group loop.
         offsets = np.concatenate(([0], np.cumsum(kept_counts))).astype(np.int64)
+        if kept_codes.size:
+            take = (np.repeat(kept_starts - offsets[:-1], kept_counts)
+                    + np.arange(int(offsets[-1]), dtype=np.int64))
+        else:
+            take = np.empty(0, dtype=np.int64)
 
         return RetainedKmers(
             codes=kept_codes.astype(np.uint64),

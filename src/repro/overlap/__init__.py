@@ -21,8 +21,9 @@ from repro.overlap.pairs import (
     choose_owner,
     consolidate_pairs,
     OverlapRecord,
+    OverlapTable,
 )
-from repro.overlap.seeds import select_seeds, SeedStrategy
+from repro.overlap.seeds import select_seeds, select_seeds_batched, SeedStrategy
 from repro.overlap.graph import build_overlap_graph, overlap_graph_summary
 
 __all__ = [
@@ -32,7 +33,9 @@ __all__ = [
     "choose_owner",
     "consolidate_pairs",
     "OverlapRecord",
+    "OverlapTable",
     "select_seeds",
+    "select_seeds_batched",
     "SeedStrategy",
     "build_overlap_graph",
     "overlap_graph_summary",

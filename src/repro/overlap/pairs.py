@@ -5,12 +5,21 @@ overlap; each pair becomes an alignment task routed to the rank that owns one
 of the two reads, chosen by the odd/even heuristic of Algorithm 1 so that
 task counts balance without any global coordination.  After the exchange,
 tasks for the same read pair (one per shared k-mer) are consolidated into a
-single overlap record carrying the pair's full seed list.
+single overlap entry carrying the pair's full seed list.
+
+Everything in this module is *fully vectorised*: pair generation expands the
+``c(c-1)/2`` pairs of all retained k-mers in one shot from the
+:class:`~repro.kmers.hashtable.RetainedKmers` offset/count arrays, and
+consolidation is a single lexsort plus boundary detection that produces a
+struct-of-arrays :class:`OverlapTable`.  There is no per-k-mer or per-pair
+Python loop anywhere on the hot path — the layout minimap2 and the
+BELLA-lineage overlappers use for exactly this stage.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
@@ -25,7 +34,8 @@ class PairBatch:
     ``rid_a``/``rid_b`` are the pair's read identifiers, ``pos_a``/``pos_b``
     the shared k-mer's position in each read.  The convention ``rid_a <
     rid_b`` is enforced at construction so the same pair never appears under
-    two keys.
+    two keys (and so owner heuristics that depend on the ordering, like
+    ``"min"``, are well defined).
     """
 
     rid_a: np.ndarray
@@ -39,6 +49,8 @@ class PairBatch:
                  self.same_strand.size}
         if len(sizes) != 1:
             raise ValueError("all PairBatch arrays must have the same length")
+        if self.rid_a.size and not np.all(self.rid_a < self.rid_b):
+            raise ValueError("PairBatch requires rid_a < rid_b for every pair")
 
     def __len__(self) -> int:
         return int(self.rid_a.size)
@@ -102,6 +114,118 @@ class OverlapRecord:
     def n_seeds(self) -> int:
         """Number of shared retained k-mers found for this pair."""
         return int(self.seed_pos_a.size)
+
+
+@dataclass(frozen=True)
+class OverlapTable:
+    """Consolidated overlaps, structure-of-arrays style.
+
+    One entry per distinct read pair; the pair's seeds live in the flat
+    ``seed_*`` arrays delimited by ``seed_offsets`` (the same offsets/values
+    layout as :class:`~repro.kmers.hashtable.RetainedKmers`).  Seeds within a
+    pair are unique and sorted by ``(pos_a, pos_b)``; pairs are sorted by
+    ``(rid_a, rid_b)``.
+
+    The table iterates as :class:`OverlapRecord` objects, so existing callers
+    (graph construction, benches) keep working, but the flat arrays are the
+    primary representation: seed selection and task construction operate on
+    them directly, without materialising per-pair objects.
+    """
+
+    rid_a: np.ndarray             # (n_pairs,) int64
+    rid_b: np.ndarray             # (n_pairs,) int64
+    seed_offsets: np.ndarray      # (n_pairs + 1,) int64
+    seed_pos_a: np.ndarray        # (n_seeds,) int64
+    seed_pos_b: np.ndarray        # (n_seeds,) int64
+    seed_same_strand: np.ndarray  # (n_seeds,) bool
+
+    def __post_init__(self) -> None:
+        if self.rid_a.size != self.rid_b.size:
+            raise ValueError("rid_a and rid_b must have the same length")
+        if self.seed_offsets.size != self.rid_a.size + 1:
+            raise ValueError("seed_offsets must have n_pairs + 1 entries")
+        sizes = {self.seed_pos_a.size, self.seed_pos_b.size, self.seed_same_strand.size}
+        if len(sizes) != 1:
+            raise ValueError("all seed arrays must have the same length")
+
+    @property
+    def n_pairs(self) -> int:
+        """Number of distinct read pairs in the table."""
+        return int(self.rid_a.size)
+
+    @property
+    def n_seeds(self) -> int:
+        """Total seeds across all pairs."""
+        return int(self.seed_pos_a.size)
+
+    def __len__(self) -> int:
+        return self.n_pairs
+
+    def seed_counts(self) -> np.ndarray:
+        """Number of seeds of each pair."""
+        return np.diff(self.seed_offsets)
+
+    def record(self, index: int) -> OverlapRecord:
+        """Materialise the *index*-th pair as an :class:`OverlapRecord`."""
+        lo, hi = int(self.seed_offsets[index]), int(self.seed_offsets[index + 1])
+        return OverlapRecord(
+            rid_a=int(self.rid_a[index]),
+            rid_b=int(self.rid_b[index]),
+            seed_pos_a=self.seed_pos_a[lo:hi].copy(),
+            seed_pos_b=self.seed_pos_b[lo:hi].copy(),
+            seed_same_strand=self.seed_same_strand[lo:hi].copy(),
+        )
+
+    def __iter__(self) -> Iterator[OverlapRecord]:
+        for index in range(self.n_pairs):
+            yield self.record(index)
+
+    @classmethod
+    def empty(cls) -> "OverlapTable":
+        """A table with no pairs."""
+        z = np.empty(0, dtype=np.int64)
+        return cls(rid_a=z, rid_b=z.copy(), seed_offsets=np.zeros(1, dtype=np.int64),
+                   seed_pos_a=z.copy(), seed_pos_b=z.copy(),
+                   seed_same_strand=np.empty(0, dtype=bool))
+
+    @classmethod
+    def from_pairs(cls, batch: PairBatch) -> "OverlapTable":
+        """Consolidate a task batch into a table: one lexsort, no Python loops.
+
+        Duplicate seeds (same pair, same positions and orientation — possible
+        when a k-mer repeats inside a read) are removed; seeds end up sorted
+        by ``(pos_a, pos_b)`` within each pair, pairs by ``(rid_a, rid_b)``.
+        """
+        if len(batch) == 0:
+            return cls.empty()
+        same = batch.same_strand.astype(np.int64)
+        order = np.lexsort((same, batch.pos_b, batch.pos_a, batch.rid_b, batch.rid_a))
+        ra = batch.rid_a[order]
+        rb = batch.rid_b[order]
+        pa = batch.pos_a[order]
+        pb = batch.pos_b[order]
+        ss = same[order]
+
+        # Drop duplicate (pair, seed) rows — adjacent after the lexsort.
+        keep = np.ones(ra.size, dtype=bool)
+        keep[1:] = ((ra[1:] != ra[:-1]) | (rb[1:] != rb[:-1]) | (pa[1:] != pa[:-1])
+                    | (pb[1:] != pb[:-1]) | (ss[1:] != ss[:-1]))
+        ra, rb, pa, pb, ss = ra[keep], rb[keep], pa[keep], pb[keep], ss[keep]
+
+        # Pair boundaries: positions where (rid_a, rid_b) changes.
+        boundary = np.ones(ra.size, dtype=bool)
+        boundary[1:] = (ra[1:] != ra[:-1]) | (rb[1:] != rb[:-1])
+        starts = np.flatnonzero(boundary)
+        seed_offsets = np.append(starts, ra.size).astype(np.int64)
+
+        return cls(
+            rid_a=ra[starts].astype(np.int64),
+            rid_b=rb[starts].astype(np.int64),
+            seed_offsets=seed_offsets,
+            seed_pos_a=pa.astype(np.int64),
+            seed_pos_b=pb.astype(np.int64),
+            seed_same_strand=ss.astype(bool),
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -170,87 +294,65 @@ def generate_pairs(retained: RetainedKmers) -> PairBatch:
     a k-mer of multiplicity c contributes up to c(c-1)/2 tasks (the
     ``[2, m(m-1)/2]`` bound of §8).  Pairs are normalised so that
     ``rid_a < rid_b``.
-    """
-    if retained.n_kmers == 0:
-        return PairBatch.empty()
 
-    rid_chunks: list[np.ndarray] = []
-    ridb_chunks: list[np.ndarray] = []
-    posa_chunks: list[np.ndarray] = []
-    posb_chunks: list[np.ndarray] = []
-    strand_chunks: list[np.ndarray] = []
+    The expansion is computed in one shot for *all* retained k-mers from the
+    flat offsets/counts arrays: every occurrence at within-group index ``w``
+    is paired with its ``w`` predecessors, so the pair list is built with a
+    handful of ``repeat``/``cumsum`` operations instead of a per-k-mer loop.
+    """
+    if retained.n_kmers == 0 or retained.n_occurrences == 0:
+        return PairBatch.empty()
 
     counts = retained.counts()
-    for index in range(retained.n_kmers):
-        c = int(counts[index])
-        if c < 2:
-            continue
-        _, rids, positions, strands = retained.group(index)
-        ii, jj = np.triu_indices(c, k=1)
-        ra, rb = rids[ii], rids[jj]
-        pa, pb = positions[ii], positions[jj]
-        same = strands[ii] == strands[jj]
-        distinct = ra != rb
-        if not distinct.any():
-            continue
-        ra, rb, pa, pb, same = (ra[distinct], rb[distinct], pa[distinct],
-                                pb[distinct], same[distinct])
-        # Normalise so rid_a < rid_b (swap positions along with the rids).
-        swap = ra > rb
-        ra_norm = np.where(swap, rb, ra)
-        rb_norm = np.where(swap, ra, rb)
-        pa_norm = np.where(swap, pb, pa)
-        pb_norm = np.where(swap, pa, pb)
-        rid_chunks.append(ra_norm)
-        ridb_chunks.append(rb_norm)
-        posa_chunks.append(pa_norm)
-        posb_chunks.append(pb_norm)
-        strand_chunks.append(same)
+    group_starts = retained.offsets[:-1]
+    n_occ = retained.n_occurrences
 
-    if not rid_chunks:
+    # Within-group index of every occurrence: w[s + t] = t for the group
+    # starting at s.  Occurrence j pairs with its w[j] predecessors.
+    within = np.arange(n_occ, dtype=np.int64) - np.repeat(group_starts, counts)
+    reps = within  # occurrence j appears as the "right" element w[j] times
+    total = int(reps.sum())
+    if total == 0:
         return PairBatch.empty()
+
+    # Right element of each pair: occurrence j repeated w[j] times.
+    j_glob = np.repeat(np.arange(n_occ, dtype=np.int64), reps)
+    # Left element: for the block of pairs owned by occurrence j, the
+    # predecessors group_start[g] .. j-1 in order.
+    block_starts = np.concatenate(([0], np.cumsum(reps)))[:-1]
+    offset_in_block = np.arange(total, dtype=np.int64) - np.repeat(block_starts, reps)
+    i_glob = np.repeat(np.repeat(group_starts, counts), reps) + offset_in_block
+
+    ra = retained.rids[i_glob]
+    rb = retained.rids[j_glob]
+    distinct = ra != rb
+    if not distinct.any():
+        return PairBatch.empty()
+    ra, rb = ra[distinct], rb[distinct]
+    pa = retained.positions[i_glob[distinct]]
+    pb = retained.positions[j_glob[distinct]]
+    same = retained.strands[i_glob[distinct]] == retained.strands[j_glob[distinct]]
+
+    # Normalise so rid_a < rid_b (swap positions along with the rids).
+    swap = ra > rb
+    ra_norm = np.where(swap, rb, ra)
+    rb_norm = np.where(swap, ra, rb)
+    pa_norm = np.where(swap, pb, pa)
+    pb_norm = np.where(swap, pa, pb)
+
     return PairBatch(
-        rid_a=np.concatenate(rid_chunks).astype(np.int64),
-        rid_b=np.concatenate(ridb_chunks).astype(np.int64),
-        pos_a=np.concatenate(posa_chunks).astype(np.int64),
-        pos_b=np.concatenate(posb_chunks).astype(np.int64),
-        same_strand=np.concatenate(strand_chunks).astype(np.int64),
+        rid_a=ra_norm.astype(np.int64),
+        rid_b=rb_norm.astype(np.int64),
+        pos_a=pa_norm.astype(np.int64),
+        pos_b=pb_norm.astype(np.int64),
+        same_strand=same.astype(np.int64),
     )
 
 
 def consolidate_pairs(batch: PairBatch) -> list[OverlapRecord]:
     """Group a task batch by read pair into :class:`OverlapRecord` objects.
 
-    Duplicate seeds (same pair, same positions — possible when a k-mer
-    repeats inside a read) are removed; seed lists are sorted by position on
-    read A.
+    Compatibility wrapper over :meth:`OverlapTable.from_pairs` for callers
+    that want per-pair record objects; the pipeline itself keeps the table.
     """
-    if len(batch) == 0:
-        return []
-    # Sort by (rid_a, rid_b) to find group boundaries with one pass.
-    order = np.lexsort((batch.rid_b, batch.rid_a))
-    ra = batch.rid_a[order]
-    rb = batch.rid_b[order]
-    pa = batch.pos_a[order]
-    pb = batch.pos_b[order]
-    same = batch.same_strand[order]
-
-    boundary = np.ones(ra.size, dtype=bool)
-    boundary[1:] = (ra[1:] != ra[:-1]) | (rb[1:] != rb[:-1])
-    starts = np.nonzero(boundary)[0]
-    ends = np.append(starts[1:], ra.size)
-
-    records: list[OverlapRecord] = []
-    for s, e in zip(starts, ends):
-        seeds = np.stack([pa[s:e], pb[s:e], same[s:e]], axis=1)
-        seeds = np.unique(seeds, axis=0)  # drop duplicate seeds, sort by pos_a
-        records.append(
-            OverlapRecord(
-                rid_a=int(ra[s]),
-                rid_b=int(rb[s]),
-                seed_pos_a=seeds[:, 0].copy(),
-                seed_pos_b=seeds[:, 1].copy(),
-                seed_same_strand=seeds[:, 2].astype(bool).copy(),
-            )
-        )
-    return records
+    return list(OverlapTable.from_pairs(batch))

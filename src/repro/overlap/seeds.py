@@ -14,8 +14,12 @@ first seed lands badly.  The paper's experiments use three settings (§5):
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pairs imports nothing here)
+    from repro.overlap.pairs import OverlapTable
 
 
 @dataclass(frozen=True)
@@ -107,3 +111,56 @@ def select_seeds(
             if strategy.max_seeds is not None and len(selected) >= strategy.max_seeds:
                 break
     return np.array(selected, dtype=np.int64)
+
+
+def select_seeds_batched(table: "OverlapTable", strategy: SeedStrategy) -> np.ndarray:
+    """Select alignment seeds for *every* pair of an overlap table at once.
+
+    Operates directly on the table's flat seed arrays (seeds are sorted by
+    position on read A within each pair, which is exactly the order the
+    greedy scan of :func:`select_seeds` visits them in) and returns the
+    selected indices into those flat arrays, sorted ascending — i.e. grouped
+    by pair, by position within each pair.
+
+    The greedy ``min_separation`` scan is vectorised *across pairs*: each
+    round selects the current candidate seed of every still-active pair, then
+    advances every pair's candidate pointer past the separation window with
+    one global :func:`numpy.searchsorted` over an offset-augmented position
+    array (positions made globally increasing by adding ``pair_id * span``).
+    The Python-level loop count is the maximum number of seeds selected for
+    any single pair, not the number of pairs or seeds.
+    """
+    n_pairs = len(table)
+    if n_pairs == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = table.seed_offsets.astype(np.int64)
+
+    if strategy.mode == "one":
+        # First seed of each pair — the minimum position on read A.
+        return offsets[:-1].copy()
+
+    pos = table.seed_pos_a.astype(np.int64)
+    pair_of_seed = np.repeat(np.arange(n_pairs, dtype=np.int64), np.diff(offsets))
+    # Make positions globally non-decreasing across pairs; span is wide
+    # enough that a separation window never crosses a pair boundary.
+    span = int(pos.max(initial=0)) + strategy.min_separation + 1
+    augmented = pos + pair_of_seed * span
+
+    cursor = offsets[:-1].copy()
+    ends = offsets[1:]
+    taken = np.zeros(n_pairs, dtype=np.int64)
+    active = cursor < ends
+    chunks: list[np.ndarray] = []
+    while active.any():
+        chosen = cursor[active]
+        chunks.append(chosen)
+        taken[active] += 1
+        # Advance each active pair to its first seed at least min_separation
+        # past the one just selected (clipped to the pair's end).
+        targets = augmented[chosen] + strategy.min_separation
+        nxt = np.searchsorted(augmented, targets, side="left")
+        cursor[active] = np.minimum(nxt, ends[active])
+        active = cursor < ends
+        if strategy.max_seeds is not None:
+            active &= taken < strategy.max_seeds
+    return np.sort(np.concatenate(chunks))

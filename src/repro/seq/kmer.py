@@ -16,7 +16,7 @@ matching.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -172,6 +172,68 @@ def extract_kmers_with_strand(seq: str, spec: KmerSpec
     canonical = np.minimum(raw, rc)
     is_forward = canonical == raw
     return canonical, positions, is_forward
+
+
+def extract_kmers_batch(
+    seqs: Sequence[str], spec: KmerSpec, with_strand: bool = False
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Extract the k-mers of a whole batch of reads from one concatenated encoding.
+
+    Returns ``(codes, read_index, positions, is_forward)`` where
+    ``read_index[i]`` is the index into *seqs* of the read containing k-mer
+    ``i`` and ``positions[i]`` its 0-based offset in that read.  With
+    ``with_strand=True`` the codes are canonicalised and ``is_forward``
+    reports, per k-mer, whether the canonical representative is the literal
+    forward orientation (matching :func:`extract_kmers_with_strand`);
+    otherwise canonicalisation follows ``spec.canonical`` and ``is_forward``
+    is empty.
+
+    The whole batch is encoded once and the rolling k-mer construction runs
+    over the single concatenated code array (k shifted-OR passes, no
+    per-read Python loop); windows spanning a read boundary are masked out
+    afterwards.  This is the batch counterpart of :func:`extract_kmer_codes`
+    and what the pipeline's streaming supersteps call.
+    """
+    k = spec.k
+    empty_u64 = np.empty(0, dtype=np.uint64)
+    empty_i64 = np.empty(0, dtype=np.int64)
+    empty_bool = np.empty(0, dtype=bool)
+    if not seqs:
+        return empty_u64, empty_i64, empty_i64, empty_bool
+
+    lengths = np.array([len(s) for s in seqs], dtype=np.int64)
+    concat = encode_sequence("".join(seqs)).astype(np.uint64)
+    n = concat.size
+    if n < k:
+        return empty_u64, empty_i64, empty_i64, empty_bool
+
+    # Rolling construction over the concatenation: k shifted-OR passes build
+    # every window's code without materialising an (n, k) window matrix.
+    n_windows = n - k + 1
+    raw = np.zeros(n_windows, dtype=np.uint64)
+    for i in range(k):
+        raw = (raw << np.uint64(2)) | concat[i : n_windows + i]
+
+    # A window starting at base t belongs to the read containing base t and
+    # is valid only if it does not cross that read's end.
+    starts = np.concatenate(([0], np.cumsum(lengths)))[:-1]
+    read_of_base = np.repeat(np.arange(lengths.size, dtype=np.int64), lengths)
+    read_index = read_of_base[:n_windows]
+    positions = np.arange(n_windows, dtype=np.int64) - starts[read_index]
+    valid = positions <= lengths[read_index] - k
+
+    raw = raw[valid]
+    read_index = read_index[valid]
+    positions = positions[valid]
+
+    if with_strand:
+        rc = reverse_complement_code(raw, k)
+        codes = np.minimum(raw, rc)
+        is_forward = codes == raw
+        return codes, read_index, positions, is_forward
+    if spec.canonical:
+        raw = canonicalize_codes(raw, k)
+    return raw, read_index, positions, empty_bool
 
 
 def iter_kmers(seq: str, k: int, canonical: bool = False) -> Iterator[str]:

@@ -13,6 +13,18 @@ from repro.seq.kmer import KmerSpec
 from repro.seq.records import Read, ReadSet
 
 
+def pytest_configure(config: pytest.Config) -> None:
+    """Register the tier markers (no pytest.ini — the repo runs bare pytest).
+
+    ``slow`` marks the end-to-end pipeline tests; ``-m "not slow"`` is the
+    fast tier the CI script runs on every change, the full (unfiltered) run
+    is the tier-1 gate.
+    """
+    config.addinivalue_line(
+        "markers", "slow: end-to-end pipeline tests (excluded from the fast CI tier)"
+    )
+
+
 @pytest.fixture(scope="session")
 def rng() -> np.random.Generator:
     """A deterministic RNG for ad-hoc test data."""

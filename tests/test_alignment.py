@@ -4,9 +4,21 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+import inspect
+
 from repro.align.banded import banded_smith_waterman
-from repro.align.batch import AlignmentTask, BatchAligner, align_task, batched_xdrop_align
-from repro.align.batched_xdrop import BatchedExtensionConfig, batched_extend
+from repro.align.batch import (
+    AlignmentTask,
+    BatchAligner,
+    TaskBatch,
+    align_task,
+    batched_xdrop_align,
+)
+from repro.align.batched_xdrop import (
+    DEFAULT_XDROP_BAND,
+    BatchedExtensionConfig,
+    batched_extend,
+)
 from repro.align.results import AlignmentResult
 from repro.align.scoring import ScoringScheme
 from repro.align.smith_waterman import smith_waterman
@@ -323,6 +335,47 @@ class TestBatchAligner:
         assert aligner.stats.alignments == 1
         assert aligner.stats.accepted == 0
 
+    def test_batch_size_does_not_change_scores(self):
+        """Regression: the same task must score identically in any batch.
+
+        The x-drop dispatch used to send singleton batches to the unbounded
+        scalar kernel and larger batches to the banded batched kernel (with a
+        different default band), so a task's score depended on how many other
+        tasks its rank happened to hold.
+        """
+        seqs = self._sequences()
+        tasks = [
+            AlignmentTask(rid_a=0, rid_b=1, seed_pos_a=210, seed_pos_b=10),
+            AlignmentTask(rid_a=0, rid_b=1, seed_pos_a=300, seed_pos_b=100),
+            AlignmentTask(rid_a=0, rid_b=2, seed_pos_a=200, seed_pos_b=300 - 50 - 17,
+                          same_strand=False),
+        ]
+        solo_results = [
+            BatchAligner(sequences=seqs, kernel="xdrop", k=17).align_all([task])[0]
+            for task in tasks
+        ]
+        batch_results = BatchAligner(sequences=seqs, kernel="xdrop", k=17).align_all(tasks)
+        for solo, batched in zip(solo_results, batch_results):
+            assert solo.score == batched.score
+            assert (solo.start_a, solo.end_a, solo.start_b, solo.end_b) == (
+                batched.start_a, batched.end_a, batched.start_b, batched.end_b)
+
+    def test_align_matches_align_all_singleton(self):
+        seqs = self._sequences()
+        task = AlignmentTask(rid_a=0, rid_b=1, seed_pos_a=210, seed_pos_b=10)
+        one = BatchAligner(sequences=seqs, kernel="xdrop", k=17).align(task)
+        all_one = BatchAligner(sequences=seqs, kernel="xdrop", k=17).align_all([task])[0]
+        assert one.score == all_one.score
+
+    def test_band_defaults_agree_across_entry_points(self):
+        """Regression: every x-drop entry point shares one default band."""
+        assert BatchAligner(sequences={}).band == DEFAULT_XDROP_BAND
+        assert BatchedExtensionConfig().band == DEFAULT_XDROP_BAND
+        sig = inspect.signature(batched_xdrop_align)
+        assert sig.parameters["band"].default == DEFAULT_XDROP_BAND
+        from repro.core.config import PipelineConfig
+        assert PipelineConfig().band == DEFAULT_XDROP_BAND
+
     def test_result_identity_helper(self):
         result = AlignmentResult(score=3, start_a=0, end_a=4, start_b=0, end_b=4,
                                  cells=16, kernel="smith_waterman",
@@ -332,3 +385,44 @@ class TestBatchAligner:
         no_tb = AlignmentResult(score=3, start_a=0, end_a=4, start_b=0, end_b=4,
                                 cells=16, kernel="xdrop")
         assert no_tb.identity() is None
+
+
+class TestTaskBatch:
+    def _tasks(self):
+        return [
+            AlignmentTask(rid_a=0, rid_b=3, seed_pos_a=10, seed_pos_b=20),
+            AlignmentTask(rid_a=1, rid_b=2, seed_pos_a=5, seed_pos_b=7, same_strand=False),
+        ]
+
+    def test_roundtrip_through_tasks(self):
+        batch = TaskBatch.from_tasks(self._tasks())
+        assert len(batch) == 2
+        assert list(batch) == self._tasks()
+        assert batch.task(1).same_strand is False
+
+    def test_rids_unique_sorted(self):
+        batch = TaskBatch.from_tasks(self._tasks() + self._tasks())
+        np.testing.assert_array_equal(batch.rids(), [0, 1, 2, 3])
+
+    def test_empty(self):
+        batch = TaskBatch.empty()
+        assert len(batch) == 0
+        assert batch.rids().size == 0
+        assert list(batch) == []
+        assert len(TaskBatch.from_tasks([])) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TaskBatch(rid_a=np.array([0]), rid_b=np.array([1, 2]),
+                      seed_pos_a=np.array([0]), seed_pos_b=np.array([0]),
+                      same_strand=np.array([True]))
+
+    def test_aligner_accepts_task_batch(self):
+        rng = np.random.default_rng(21)
+        genome = "".join("ACGT"[i] for i in rng.integers(0, 4, size=600))
+        seqs = {0: genome[:400], 1: mutate(genome[200:], 0.1, seed=1)}
+        batch = TaskBatch.from_tasks(
+            [AlignmentTask(rid_a=0, rid_b=1, seed_pos_a=210, seed_pos_b=10)])
+        aligner = BatchAligner(sequences=seqs, kernel="xdrop", k=17)
+        results = aligner.align_all(batch)
+        assert len(results) == 1 and results[0].score > 30

@@ -2,6 +2,8 @@
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.baselines.bruteforce import brute_force_alignments, brute_force_overlaps
 from repro.baselines.daligner import DalignerConfig, DalignerLikeOverlapper
 from repro.core.driver import run_dibella

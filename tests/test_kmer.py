@@ -10,6 +10,7 @@ from repro.seq.kmer import (
     canonical_code,
     canonicalize_codes,
     extract_kmer_codes,
+    extract_kmers_batch,
     extract_kmers_with_positions,
     extract_kmers_with_strand,
     iter_kmers,
@@ -158,3 +159,73 @@ class TestStrandExtraction:
         # ACGT's reverse complement is itself; the flag must be True.
         _, _, strands = extract_kmers_with_strand("ACGT", KmerSpec(k=4))
         assert strands.tolist() == [True]
+
+
+class TestBatchExtraction:
+    """extract_kmers_batch must match the per-read extraction exactly."""
+
+    def _random_reads(self, rng, n_reads, k):
+        reads = []
+        for _ in range(n_reads):
+            # Mix of normal reads, reads shorter than k, and empty reads.
+            r = rng.random()
+            if r < 0.15:
+                length = int(rng.integers(0, k))
+            else:
+                length = int(rng.integers(k, 120))
+            reads.append("".join("ACGT"[i] for i in rng.integers(0, 4, size=length)))
+        return reads
+
+    @pytest.mark.parametrize("seed,k", [(0, 5), (1, 17), (2, 11), (3, 2)])
+    def test_with_strand_matches_per_read(self, seed, k):
+        rng = np.random.default_rng(seed)
+        reads = self._random_reads(rng, 20, k)
+        spec = KmerSpec(k=k)
+        codes, read_index, positions, strands = extract_kmers_batch(
+            reads, spec, with_strand=True)
+        assert codes.size == read_index.size == positions.size == strands.size
+        cursor = 0
+        for i, read in enumerate(reads):
+            want_codes, want_pos, want_strands = extract_kmers_with_strand(read, spec)
+            n = want_codes.size
+            chunk = slice(cursor, cursor + n)
+            assert (read_index[chunk] == i).all()
+            np.testing.assert_array_equal(codes[chunk], want_codes)
+            np.testing.assert_array_equal(positions[chunk], want_pos)
+            np.testing.assert_array_equal(strands[chunk], want_strands)
+            cursor += n
+        assert cursor == codes.size  # nothing extra, nothing missing
+
+    @pytest.mark.parametrize("canonical", [True, False])
+    def test_codes_only_matches_per_read(self, canonical):
+        rng = np.random.default_rng(9)
+        spec = KmerSpec(k=7, canonical=canonical)
+        reads = self._random_reads(rng, 15, 7)
+        codes, read_index, positions, strands = extract_kmers_batch(reads, spec)
+        assert strands.size == 0
+        want = [extract_kmer_codes(r, spec) for r in reads]
+        np.testing.assert_array_equal(codes, np.concatenate(want) if want else codes)
+        np.testing.assert_array_equal(
+            read_index, np.repeat(np.arange(len(reads)), [w.size for w in want]))
+
+    def test_boundary_windows_masked(self):
+        # k-mers spanning two reads must not appear: 8 total bases but only
+        # 2 valid 4-mers (one per read).
+        codes, read_index, positions, _ = extract_kmers_batch(
+            ["ACGT", "TTTT"], KmerSpec(k=4))
+        assert codes.size == 2
+        assert read_index.tolist() == [0, 1]
+        assert positions.tolist() == [0, 0]
+
+    def test_empty_inputs(self):
+        for batch in ([], ["", ""], ["AC"]):
+            codes, read_index, positions, strands = extract_kmers_batch(
+                batch, KmerSpec(k=5), with_strand=True)
+            assert codes.size == 0 and read_index.size == 0
+            assert positions.size == 0 and strands.size == 0
+
+    def test_short_reads_between_long_ones(self):
+        reads = ["ACGTACGTAC", "AC", "", "GGGTTTCCCA"]
+        codes, read_index, positions, _ = extract_kmers_batch(reads, KmerSpec(k=5))
+        assert set(read_index.tolist()) == {0, 3}
+        assert codes.size == 12  # 6 k-mers from each long read

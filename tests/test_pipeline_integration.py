@@ -11,6 +11,8 @@ import numpy as np
 import pytest
 
 from repro.core.config import PipelineConfig
+
+pytestmark = pytest.mark.slow
 from repro.core.pipeline import DibellaPipeline
 from repro.core.driver import run_dibella
 from repro.core.result import STAGE_NAMES
@@ -45,6 +47,23 @@ class TestEndToEnd:
 
     def test_one_seed_means_one_alignment_per_pair(self, micro_run):
         assert micro_run.n_alignments == micro_run.n_overlap_pairs
+
+    def test_bloom_sized_from_distinct_estimate(self, micro_run):
+        # The HLL pre-pass estimates the number of *distinct* k-mers; the
+        # Bloom filter is sized from it, not from the instance count.
+        estimate = micro_run.counters["hll_distinct_estimate"]
+        assert estimate > 0
+        # Distinct >= k-mers seen at least twice (the candidate keys), up to
+        # the ~1% sketch error; and never more than the parsed instances.
+        assert estimate >= 0.9 * micro_run.counters["distinct_keys"]
+        assert estimate <= micro_run.counters["kmers_parsed"]
+
+    def test_overlap_tables_match_records(self, micro_run):
+        tables = micro_run.overlap_tables()
+        assert sum(len(t) for t in tables) == micro_run.n_overlap_pairs
+        flat_pairs = {(int(a), int(b)) for t in tables
+                      for a, b in zip(t.rid_a, t.rid_b)}
+        assert flat_pairs == micro_run.overlap_pairs()
 
     def test_stage_records_complete(self, micro_run):
         assert [s.name for s in micro_run.stages] == list(STAGE_NAMES)

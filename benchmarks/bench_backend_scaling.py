@@ -1,0 +1,250 @@
+"""Benchmark: thread vs process runtime backend at multi-rank scale.
+
+The thread backend runs P ranks under one GIL, so rank *compute* largely
+serialises; the process backend gives every rank its own interpreter and
+exchanges typed buffers through shared memory, so P ranks really occupy P
+cores.  Two measurements:
+
+* **Overlap-stage gate** — an SPMD program running exactly the overlap
+  stage's hot path (chunked pair generation → bucketing → ``alltoallv``
+  supersteps → lexsort consolidation → batched seed selection) on per-rank
+  synthetic retained-k-mer partitions.  On a host with at least ``RANKS``
+  cores the process backend must beat threads by ``MIN_OVERLAP_SPEEDUP`` —
+  the regression gate for "P ranks buy real parallelism".  On smaller hosts
+  (e.g. single-core CI containers) no parallel speedup is physically
+  possible, so the gate is reported but not enforced.
+
+* **End-to-end pipeline** — the full four-stage pipeline on a small 30x
+  workload under both backends, reported per stage, with the scientific
+  output asserted identical (the runtime backend must never change the
+  answer).
+
+Runs standalone: ``python benchmarks/bench_backend_scaling.py``.
+Environment knobs: ``REPRO_BENCH_RANKS`` (default 4),
+``REPRO_BENCH_GENOME`` (default 12000 bp, pipeline part),
+``REPRO_BENCH_OVERLAP_REPEATS`` (default 3, gate part).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.config import PipelineConfig
+from repro.core.driver import run_dibella
+from repro.data.datasets import DatasetSpec, generate_dataset
+from repro.data.genome import GenomeSpec
+from repro.data.reads import ReadSimSpec
+from repro.kmers.hashtable import KmerHashTablePartition
+from repro.kmers.reliable import high_frequency_threshold
+from repro.mpisim.collectives import bucket_by_destination
+from repro.mpisim.runtime import spmd_run
+from repro.overlap.pairs import (
+    OverlapTable,
+    PairBatch,
+    choose_owner,
+    generate_pairs,
+    pair_chunk_ranges,
+)
+from repro.overlap.seeds import SeedStrategy, select_seeds_batched
+from repro.seq.kmer import KmerSpec, extract_kmers_batch
+
+#: Ranks per run (and the core count needed before the gate is enforced).
+RANKS = int(os.environ.get("REPRO_BENCH_RANKS", "4"))
+#: Required overlap-stage speedup of the process backend over threads.
+MIN_OVERLAP_SPEEDUP = 1.5
+#: Wire budget per overlap-exchange superstep in the gate program.
+CHUNK_BYTES = 8 << 20
+
+
+# ---------------------------------------------------------------------------
+# Part 1: the overlap-stage gate
+# ---------------------------------------------------------------------------
+
+def _rank_partition(rank: int, k: int = 17):
+    """A synthetic 30x retained-k-mer partition, distinct per rank."""
+    spec = DatasetSpec(
+        name=f"backend-overlap-{rank}",
+        genome=GenomeSpec(length=10000, repeat_fraction=0.02, repeat_length=300,
+                          seed=500 + rank),
+        reads=ReadSimSpec(coverage=30.0, mean_read_length=1000,
+                          min_read_length=400, error_rate=0.10, seed=600 + rank),
+    )
+    dataset = generate_dataset(spec)
+    codes, read_index, positions, strands = extract_kmers_batch(
+        [read.sequence for read in dataset.reads], KmerSpec(k=k), with_strand=True
+    )
+    part = KmerHashTablePartition()
+    part.add_candidate_keys(codes)
+    part.finalize_keys()
+    part.add_occurrences(codes, read_index.astype(np.int64), positions, strands)
+    retained = part.finalize(min_count=2,
+                             max_count=high_frequency_threshold(30.0, 0.10, k))
+    n_reads = len(dataset.reads)
+    return retained, n_reads
+
+
+def _overlap_stage_program(comm, partitions, n_reads_max, repeats):
+    """The overlap stage's exact hot path, measured per rank."""
+    retained = partitions[comm.rank]
+    read_owner = np.arange(n_reads_max, dtype=np.int64) % comm.size
+    # d=k ("all seeds"): the maximum-computation seed-selection setting.
+    strategy = SeedStrategy.separated_by(17)
+    start = time.perf_counter()
+    for _ in range(repeats):
+        chunks = pair_chunk_ranges(retained, CHUNK_BYTES)
+        n_supersteps = int(comm.allreduce(len(chunks), op="max"))
+        received_batches: list[PairBatch] = []
+        for step in range(n_supersteps):
+            if step < len(chunks):
+                pairs = generate_pairs(retained, kmer_range=chunks[step])
+            else:
+                pairs = PairBatch.empty()
+            if len(pairs):
+                destinations = choose_owner(pairs.rid_a, pairs.rid_b, read_owner)
+                send = bucket_by_destination(pairs.to_matrix(), destinations,
+                                             comm.size)
+            else:
+                send = [np.empty((0, 5), dtype=np.int64) for _ in range(comm.size)]
+            received = comm.alltoallv(send)
+            received_batches.extend(
+                PairBatch.from_matrix(np.asarray(c)) for c in received
+            )
+        table = OverlapTable.from_pairs(PairBatch.concatenate(received_batches))
+        select_seeds_batched(table, strategy)
+    return time.perf_counter() - start
+
+
+def run_overlap_gate() -> dict[str, float]:
+    repeats = int(os.environ.get("REPRO_BENCH_OVERLAP_REPEATS", "3"))
+    built = [_rank_partition(rank) for rank in range(RANKS)]
+    partitions = [retained for retained, _ in built]
+    n_reads_max = max(n for _, n in built)
+    metrics: dict[str, float] = {
+        "overlap_retained_kmers": float(sum(p.n_kmers for p in partitions)),
+        "overlap_repeats": float(repeats),
+    }
+    for backend in ("thread", "process"):
+        wall = time.perf_counter()
+        rank_seconds = spmd_run(RANKS, _overlap_stage_program, partitions,
+                                n_reads_max, repeats, backend=backend)
+        metrics[f"{backend}_overlap_gate_wall"] = time.perf_counter() - wall
+        metrics[f"{backend}_overlap_gate_max_rank"] = max(rank_seconds)
+    metrics["overlap_speedup"] = (
+        metrics["thread_overlap_gate_wall"]
+        / max(metrics["process_overlap_gate_wall"], 1e-12)
+    )
+    return metrics
+
+
+# ---------------------------------------------------------------------------
+# Part 2: the end-to-end pipeline comparison
+# ---------------------------------------------------------------------------
+
+def _pipeline_workload():
+    genome_length = int(os.environ.get("REPRO_BENCH_GENOME", "12000"))
+    spec = DatasetSpec(
+        name="backend-scaling",
+        genome=GenomeSpec(length=genome_length, repeat_fraction=0.02,
+                          repeat_length=300, seed=99),
+        reads=ReadSimSpec(coverage=30.0, mean_read_length=1000,
+                          min_read_length=400, error_rate=0.10, seed=100),
+    )
+    return generate_dataset(spec).reads
+
+
+def _stage_walls(result) -> dict[str, float]:
+    """Per-stage wall span: max over ranks of compute + exchange seconds."""
+    walls = {}
+    for record in result.stages:
+        walls[record.name] = float(
+            (record.wall_compute_seconds + record.wall_exchange_seconds).max(initial=0.0)
+        )
+    return walls
+
+
+def run_pipeline_comparison() -> dict[str, float]:
+    reads = _pipeline_workload()
+    config = PipelineConfig(coverage_hint=30.0, error_rate_hint=0.10,
+                            kmer=KmerSpec(k=17))
+    metrics: dict[str, float] = {
+        "reads": float(len(reads)),
+        "bases": float(reads.total_bases),
+    }
+    results = {}
+    for backend in ("thread", "process"):
+        result = run_dibella(reads, config=config.with_backend(backend),
+                             n_nodes=1, ranks_per_node=RANKS)
+        results[backend] = result
+        metrics[f"{backend}_wall_seconds"] = result.wall_seconds
+        for stage, wall in _stage_walls(result).items():
+            metrics[f"{backend}_{stage}_seconds"] = wall
+    thread, process = results["thread"], results["process"]
+    assert thread.overlap_pairs() == process.overlap_pairs(), \
+        "backends disagree on the scientific output"
+    metrics["overlap_pairs"] = float(thread.n_overlap_pairs)
+    metrics["pipeline_speedup"] = (
+        metrics["thread_wall_seconds"] / max(metrics["process_wall_seconds"], 1e-12)
+    )
+    return metrics
+
+
+def run_bench() -> dict[str, float]:
+    metrics = {
+        "ranks": float(RANKS),
+        "cores": float(os.cpu_count() or 1),
+    }
+    metrics.update(run_overlap_gate())
+    metrics.update(run_pipeline_comparison())
+    return metrics
+
+
+def format_report(metrics: dict[str, float]) -> str:
+    gate_active = metrics["cores"] >= metrics["ranks"]
+    lines = [
+        f"backend scaling bench ({metrics['ranks']:.0f} ranks, "
+        f"{metrics['cores']:.0f} cores)",
+        f"overlap-stage gate ({metrics['overlap_retained_kmers']:.0f} retained "
+        f"k-mers, x{metrics['overlap_repeats']:.0f} repeats):",
+        f"  thread  : {metrics['thread_overlap_gate_wall']:.3f}s wall "
+        f"(slowest rank {metrics['thread_overlap_gate_max_rank']:.3f}s)",
+        f"  process : {metrics['process_overlap_gate_wall']:.3f}s wall "
+        f"(slowest rank {metrics['process_overlap_gate_max_rank']:.3f}s)",
+        f"  speedup : {metrics['overlap_speedup']:.2f}x — gate >= "
+        f"{MIN_OVERLAP_SPEEDUP:.1f}x "
+        + ("(enforced)" if gate_active else
+           f"(not enforced: only {metrics['cores']:.0f} cores for "
+           f"{metrics['ranks']:.0f} ranks — no parallel speedup possible)"),
+        f"end-to-end pipeline ({metrics['reads']:.0f} reads, "
+        f"{metrics['bases'] / 1e6:.2f} Mbp, {metrics['overlap_pairs']:.0f} "
+        f"overlap pairs):",
+        f"  {'stage':<12} {'thread':>10} {'process':>10} {'speedup':>9}",
+    ]
+    for stage in ("bloom", "hashtable", "overlap", "alignment"):
+        t = metrics[f"thread_{stage}_seconds"]
+        p = metrics[f"process_{stage}_seconds"]
+        lines.append(f"  {stage:<12} {t:>9.3f}s {p:>9.3f}s {t / max(p, 1e-12):>8.2f}x")
+    lines.append(
+        f"  {'pipeline':<12} {metrics['thread_wall_seconds']:>9.3f}s "
+        f"{metrics['process_wall_seconds']:>9.3f}s {metrics['pipeline_speedup']:>8.2f}x"
+    )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    bench_metrics = run_bench()
+    print(format_report(bench_metrics))
+    if (bench_metrics["cores"] >= bench_metrics["ranks"]
+            and bench_metrics["overlap_speedup"] < MIN_OVERLAP_SPEEDUP):
+        sys.exit(
+            f"FAIL: overlap-stage speedup {bench_metrics['overlap_speedup']:.2f}x "
+            f"below the {MIN_OVERLAP_SPEEDUP:.1f}x gate on a "
+            f"{bench_metrics['cores']:.0f}-core host"
+        )
+    print("PASS")

@@ -1,10 +1,17 @@
-"""Microbenchmark: pair-generation throughput of the vectorised overlap stage.
+"""Microbenchmark: the three vectorised hot paths of the overlap stage.
 
-Times :func:`repro.overlap.pairs.generate_pairs` (flat-array expansion) and
-:meth:`repro.overlap.pairs.OverlapTable.from_pairs` (lexsort consolidation)
-against the original per-k-mer loop implementation on a synthetic 30x
-workload, and asserts the vectorised path is at least 5x faster — the
-regression gate for the overlap stage's hot path.
+Times, against per-k-mer / per-pair loop oracles on a synthetic 30x
+workload:
+
+* :func:`repro.overlap.pairs.generate_pairs` — flat-array pair expansion,
+* :meth:`repro.overlap.pairs.OverlapTable.from_pairs` — lexsort
+  consolidation into the struct-of-arrays overlap table,
+* :func:`repro.overlap.seeds.select_seeds_batched` — cross-pair batched
+  seed selection (the min-separation greedy scan),
+
+and asserts each vectorised path beats its loop oracle by the corresponding
+``MIN_*_SPEEDUP`` gate — the regression gates for the overlap stage's hot
+paths, run by ``scripts/ci.sh``.
 
 Runs standalone (``python benchmarks/bench_overlap_microbench.py``) or under
 pytest (``python -m pytest benchmarks/bench_overlap_microbench.py``); the CI
@@ -27,10 +34,15 @@ from repro.data.reads import ReadSimSpec
 from repro.kmers.hashtable import KmerHashTablePartition, RetainedKmers
 from repro.kmers.reliable import high_frequency_threshold
 from repro.overlap.pairs import OverlapTable, PairBatch, generate_pairs
+from repro.overlap.seeds import SeedStrategy, select_seeds, select_seeds_batched
 from repro.seq.kmer import KmerSpec, extract_kmers_batch
 
 #: Required speedup of the vectorised pair generation over the loop oracle.
 MIN_SPEEDUP = 5.0
+#: Required speedup of the lexsort consolidation over the dict-grouping oracle.
+MIN_CONSOLIDATE_SPEEDUP = 5.0
+#: Required speedup of batched seed selection over the per-pair scan oracle.
+MIN_SEED_SPEEDUP = 5.0
 
 
 def synthetic_30x_retained(k: int = 17) -> RetainedKmers:
@@ -85,6 +97,46 @@ def _reference_generate_pairs(retained: RetainedKmers) -> PairBatch:
     return PairBatch(*[np.concatenate(c).astype(np.int64) for c in chunks])
 
 
+def _reference_consolidate(batch: PairBatch) -> int:
+    """Per-pair dict grouping (the seed implementation), kept as oracle.
+
+    Reproduces what :meth:`OverlapTable.from_pairs` computes — pairs sorted
+    by (rid_a, rid_b), each with its deduplicated seeds sorted by position,
+    materialised as per-pair arrays — the way the original loop consolidation
+    built its ``OverlapRecord`` objects.  Returns the number of distinct
+    pairs for the cross-check.
+    """
+    groups: dict[tuple[int, int], set[tuple[int, int, int]]] = {}
+    for ra, rb, pa, pb, ss in zip(batch.rid_a.tolist(), batch.rid_b.tolist(),
+                                  batch.pos_a.tolist(), batch.pos_b.tolist(),
+                                  batch.same_strand.tolist()):
+        groups.setdefault((ra, rb), set()).add((pa, pb, ss))
+    records = []
+    for (ra, rb), seeds in sorted(groups.items()):
+        ordered = sorted(seeds)
+        records.append((
+            ra, rb,
+            np.array([s[0] for s in ordered], dtype=np.int64),
+            np.array([s[1] for s in ordered], dtype=np.int64),
+            np.array([bool(s[2]) for s in ordered], dtype=bool),
+        ))
+    return len(records)
+
+
+def _reference_select_seeds(table: OverlapTable, strategy: SeedStrategy) -> np.ndarray:
+    """Per-pair seed selection loop (scalar :func:`select_seeds` per pair)."""
+    selected: list[np.ndarray] = []
+    offsets = table.seed_offsets
+    for index in range(len(table)):
+        lo, hi = int(offsets[index]), int(offsets[index + 1])
+        chosen = select_seeds(table.seed_pos_a[lo:hi], table.seed_pos_b[lo:hi],
+                              strategy)
+        selected.append(chosen + lo)
+    if not selected:
+        return np.empty(0, dtype=np.int64)
+    return np.sort(np.concatenate(selected))
+
+
 def _best_of(fn, repeats: int = 3) -> tuple[float, object]:
     """Minimum wall time of *repeats* runs (and the last result)."""
     best = float("inf")
@@ -97,24 +149,47 @@ def _best_of(fn, repeats: int = 3) -> tuple[float, object]:
 
 
 def run_microbench() -> dict[str, float]:
-    """Time vectorised vs reference pair generation; return the metrics."""
+    """Time the vectorised overlap hot paths vs their loop oracles."""
     retained = synthetic_30x_retained()
     t_vec, pairs = _best_of(lambda: generate_pairs(retained))
     t_ref, ref_pairs = _best_of(lambda: _reference_generate_pairs(retained))
     assert len(pairs) == len(ref_pairs), "vectorised and reference disagree on pair count"
+
     t_consolidate, table = _best_of(lambda: OverlapTable.from_pairs(pairs))
+    t_consolidate_ref, ref_n_pairs = _best_of(lambda: _reference_consolidate(pairs))
+    assert len(table) == ref_n_pairs, "consolidation oracles disagree on pair count"
+
+    strategy = SeedStrategy.separated_by(1000)
+    t_seeds, selected = _best_of(lambda: select_seeds_batched(table, strategy))
+    t_seeds_ref, ref_selected = _best_of(lambda: _reference_select_seeds(table, strategy))
+    np.testing.assert_array_equal(selected, ref_selected)
+
     return {
         "retained_kmers": float(retained.n_kmers),
         "retained_occurrences": float(retained.n_occurrences),
         "pairs": float(len(pairs)),
         "overlap_pairs": float(len(table)),
+        "selected_seeds": float(selected.size),
         "vectorized_seconds": t_vec,
         "reference_seconds": t_ref,
         "consolidate_seconds": t_consolidate,
+        "consolidate_reference_seconds": t_consolidate_ref,
+        "seed_select_seconds": t_seeds,
+        "seed_select_reference_seconds": t_seeds_ref,
         "speedup": t_ref / max(t_vec, 1e-12),
+        "consolidate_speedup": t_consolidate_ref / max(t_consolidate, 1e-12),
+        "seed_select_speedup": t_seeds_ref / max(t_seeds, 1e-12),
         "pairs_per_second": len(pairs) / max(t_vec, 1e-12),
         "retained_kmers_per_second": retained.n_kmers / max(t_vec, 1e-12),
     }
+
+
+#: (metric key, gate constant, label) for every perf gate this bench enforces.
+GATES: tuple[tuple[str, float, str], ...] = (
+    ("speedup", MIN_SPEEDUP, "pair generation"),
+    ("consolidate_speedup", MIN_CONSOLIDATE_SPEEDUP, "consolidation"),
+    ("seed_select_speedup", MIN_SEED_SPEEDUP, "seed selection"),
+)
 
 
 def format_report(metrics: dict[str, float]) -> str:
@@ -122,26 +197,37 @@ def format_report(metrics: dict[str, float]) -> str:
     lines.append(f"  retained k-mers        : {metrics['retained_kmers']:.0f}")
     lines.append(f"  pairs generated        : {metrics['pairs']:.0f}")
     lines.append(f"  consolidated pairs     : {metrics['overlap_pairs']:.0f}")
+    lines.append(f"  selected seeds (d=1000): {metrics['selected_seeds']:.0f}")
     lines.append(f"  vectorized generate    : {metrics['vectorized_seconds'] * 1e3:.2f} ms")
     lines.append(f"  reference loop         : {metrics['reference_seconds'] * 1e3:.2f} ms")
-    lines.append(f"  consolidation (lexsort): {metrics['consolidate_seconds'] * 1e3:.2f} ms")
-    lines.append(f"  speedup                : {metrics['speedup']:.1f}x (gate: >= {MIN_SPEEDUP:.0f}x)")
+    lines.append(f"  consolidation (lexsort): {metrics['consolidate_seconds'] * 1e3:.2f} ms "
+                 f"(loop oracle {metrics['consolidate_reference_seconds'] * 1e3:.2f} ms)")
+    lines.append(f"  seed selection (batch) : {metrics['seed_select_seconds'] * 1e3:.2f} ms "
+                 f"(loop oracle {metrics['seed_select_reference_seconds'] * 1e3:.2f} ms)")
+    for key, gate, label in GATES:
+        lines.append(f"  {label:<22} : {metrics[key]:.1f}x (gate: >= {gate:.0f}x)")
     lines.append(f"  throughput             : {metrics['pairs_per_second'] / 1e6:.2f} M pairs/s, "
                  f"{metrics['retained_kmers_per_second'] / 1e6:.2f} M retained k-mers/s")
     return "\n".join(lines)
 
 
 def test_overlap_microbench():
-    """Pytest entry point: the vectorised path must beat the loop by >= 5x."""
+    """Pytest entry point: every vectorised path must beat its loop oracle."""
     metrics = run_microbench()
     print("\n" + format_report(metrics))
     assert metrics["pairs"] > 0
-    assert metrics["speedup"] >= MIN_SPEEDUP
+    for key, gate, label in GATES:
+        assert metrics[key] >= gate, f"{label} speedup {metrics[key]:.1f}x below {gate:.0f}x"
 
 
 if __name__ == "__main__":
     report_metrics = run_microbench()
     print(format_report(report_metrics))
-    if report_metrics["speedup"] < MIN_SPEEDUP:
-        sys.exit(f"FAIL: speedup {report_metrics['speedup']:.1f}x below {MIN_SPEEDUP:.0f}x gate")
+    failed = [
+        f"{label} speedup {report_metrics[key]:.1f}x below {gate:.0f}x gate"
+        for key, gate, label in GATES
+        if report_metrics[key] < gate
+    ]
+    if failed:
+        sys.exit("FAIL: " + "; ".join(failed))
     print("PASS")

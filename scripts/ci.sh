@@ -2,12 +2,18 @@
 # Minimal CI for the diBELLA reproduction.
 #
 # Tiers:
-#   fast  — unit tests only (-m "not slow"), a few seconds; run on every change
-#   slow  — the end-to-end pipeline / harness / baseline tests
-#   bench — the overlap microbenchmark perf gate (>= 5x over the loop oracle)
+#   fast  — unit tests only (-m "not slow"), a few seconds; run on every change.
+#           Runs twice: under the default thread backend and under the
+#           multiprocess shared-memory backend (DIBELLA_BACKEND=process).
+#   slow  — the end-to-end pipeline / harness / baseline tests, also under
+#           both runtime backends.
+#   bench — the perf gates: the overlap microbenchmark (pair generation,
+#           consolidation and seed selection vs their loop oracles) and the
+#           backend scaling bench (process-backend overlap-stage speedup,
+#           enforced only on hosts with enough cores).
 #
 # Usage:
-#   scripts/ci.sh          # everything (the tier-1 gate plus the perf gate)
+#   scripts/ci.sh          # everything (the tier-1 gate plus the perf gates)
 #   scripts/ci.sh fast     # just the fast tier
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -15,13 +21,22 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 tier="${1:-all}"
 
-echo "== fast tier: unit tests =="
+echo "== fast tier: unit tests (thread backend) =="
 python -m pytest tests -m "not slow" -q
 
+echo "== fast tier: unit tests (process backend) =="
+DIBELLA_BACKEND=process python -m pytest tests -m "not slow" -q
+
 if [ "$tier" = "all" ]; then
-    echo "== slow tier: end-to-end pipeline tests =="
+    echo "== slow tier: end-to-end pipeline tests (thread backend) =="
     python -m pytest tests -m slow -q
+
+    echo "== slow tier: end-to-end pipeline tests (process backend) =="
+    DIBELLA_BACKEND=process python -m pytest tests -m slow -q
 
     echo "== perf gate: overlap microbenchmark =="
     python benchmarks/bench_overlap_microbench.py
+
+    echo "== perf gate: backend scaling =="
+    python benchmarks/bench_backend_scaling.py
 fi

@@ -28,6 +28,7 @@ from repro.align.smith_waterman import smith_waterman
 from repro.align.banded import banded_smith_waterman
 from repro.align.xdrop import xdrop_extend, xdrop_seed_extend
 from repro.align.batch import AlignmentTask, BatchAligner, align_task
+from repro.align.read_cache import ReadCache
 
 __all__ = [
     "ScoringScheme",
@@ -40,4 +41,5 @@ __all__ = [
     "AlignmentTask",
     "BatchAligner",
     "align_task",
+    "ReadCache",
 ]

@@ -23,12 +23,12 @@ from repro.align.batched_xdrop import (
     BatchedExtensionConfig,
     batched_extend,
 )
+from repro.align.read_cache import ReadCache
 from repro.align.results import AlignmentResult
 from repro.align.scoring import ScoringScheme
 from repro.align.smith_waterman import smith_waterman
 from repro.align.xdrop import xdrop_seed_extend
 from repro.seq.alphabet import reverse_complement
-from repro.seq.encoding import encode_sequence
 
 
 @dataclass(frozen=True)
@@ -163,6 +163,12 @@ class BatchAligner:
     min_score:
         Alignments scoring below this are counted but not *accepted* —
         diBELLA's output filter for low-quality alignments.
+    cache:
+        Optional :class:`~repro.align.read_cache.ReadCache` memoising the
+        encoded read buffers across tasks (and, in the pipeline, holding the
+        sequences fetched from remote ranks).  A private cache is created
+        when none is given, so encoded-buffer reuse and its hit/miss
+        accounting are always on.
     """
 
     sequences: Mapping[int, str]
@@ -173,6 +179,7 @@ class BatchAligner:
     band: int = DEFAULT_XDROP_BAND
     min_score: int = 0
     stats: BatchStats = field(default_factory=BatchStats)
+    cache: ReadCache = field(default_factory=ReadCache)
 
     def __post_init__(self) -> None:
         if self.kernel not in ("xdrop", "banded", "full"):
@@ -218,6 +225,7 @@ class BatchAligner:
             scoring=self.scoring,
             xdrop=self.xdrop,
             band=self.band,
+            cache=self.cache,
         )
         for result in results:
             self.stats.record(result, accepted=result.score >= self.min_score)
@@ -277,6 +285,7 @@ def batched_xdrop_align(
     scoring: ScoringScheme | None = None,
     xdrop: int = 25,
     band: int = DEFAULT_XDROP_BAND,
+    cache: ReadCache | None = None,
 ) -> list[AlignmentResult]:
     """Run a list of tasks through the task-batched banded x-drop kernel.
 
@@ -286,25 +295,20 @@ def batched_xdrop_align(
     are recombined into per-task :class:`AlignmentResult` objects — the same
     decomposition the scalar :func:`repro.align.xdrop.xdrop_seed_extend`
     kernel uses.
+
+    Every distinct read is encoded at most once through *cache* (tasks share
+    reads heavily); reads appearing in cross-strand tasks get their reverse
+    complement derived once as well.  Passing a persistent cache carries the
+    buffers — and the hit/miss accounting — across calls.
     """
     scoring = scoring or ScoringScheme()
     if not tasks:
         return []
 
-    # Encode every distinct read once; tasks share reads heavily.  Reads that
-    # appear in cross-strand tasks also get their reverse complement encoded
-    # once (complement of a 2-bit code is 3 - code).
-    needed: set[int] = set()
-    needed_rc: set[int] = set()
-    for task in tasks:
-        needed.add(task.rid_a)
-        needed.add(task.rid_b)
-        if not task.same_strand:
-            needed_rc.add(task.rid_b)
-    encoded: dict[int, np.ndarray] = {rid: encode_sequence(sequences[rid]) for rid in needed}
-    encoded_rc: dict[int, np.ndarray] = {
-        rid: (3 - encoded[rid])[::-1].astype(np.uint8) for rid in needed_rc
-    }
+    cache = cache if cache is not None else ReadCache()
+    for rid in {task.rid_a for task in tasks} | {task.rid_b for task in tasks}:
+        # put() refreshes (and drops stale encodings) if the mapping changed.
+        cache.put(rid, sequences[rid])
 
     fwd_a: list[np.ndarray] = []
     fwd_b: list[np.ndarray] = []
@@ -312,12 +316,12 @@ def batched_xdrop_align(
     back_b: list[np.ndarray] = []
     seeds: list[tuple[int, int]] = []
     for task in tasks:
-        codes_a = encoded[task.rid_a]
+        codes_a = cache.encoded(task.rid_a)
         if task.same_strand:
-            codes_b = encoded[task.rid_b]
+            codes_b = cache.encoded(task.rid_b)
             seed_pos_b = task.seed_pos_b
         else:
-            codes_b = encoded_rc[task.rid_b]
+            codes_b = cache.encoded_rc(task.rid_b)
             seed_pos_b = codes_b.size - k - task.seed_pos_b
         seed_a = min(max(0, task.seed_pos_a), max(0, codes_a.size - k))
         seed_b = min(max(0, seed_pos_b), max(0, codes_b.size - k))

@@ -1,0 +1,124 @@
+"""Per-rank cache of read sequences and their 2-bit encodings.
+
+The alignment stage fetches every non-local read its tasks touch and then
+encodes each read before extension.  Tasks share reads heavily (a read that
+overlaps many others appears in many tasks), so both the fetched sequence
+and its encoded buffer are worth caching per rank:
+
+* ``put``/``get_sequence`` hold fetched (or local) sequences keyed by RID, so
+  a RID already cached is never re-requested from its owner rank;
+* ``encoded``/``encoded_rc`` memoise the uint8 code arrays (forward and
+  reverse-complement), so repeated tasks against the same read reuse one
+  buffer instead of re-encoding per task.
+
+Hit/miss counters cover the encoded-buffer lookups (the per-task hot path);
+``fetch_hits`` counts remote fetches avoided because the sequence was already
+present.  The pipeline surfaces all three in the run's counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.seq.encoding import encode_sequence
+
+__all__ = ["ReadCache"]
+
+
+@dataclass
+class _Entry:
+    sequence: str
+    codes: np.ndarray | None = None
+    codes_rc: np.ndarray | None = None
+
+
+@dataclass
+class ReadCache:
+    """RID-keyed cache of sequences and encoded buffers with hit accounting."""
+
+    _entries: dict[int, _Entry] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+    fetch_hits: int = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, rid: int) -> bool:
+        return rid in self._entries
+
+    # -- sequence level ------------------------------------------------------
+
+    def put(self, rid: int, sequence: str) -> None:
+        """Insert (or refresh) the sequence of *rid*."""
+        entry = self._entries.get(rid)
+        if entry is None or entry.sequence != sequence:
+            self._entries[int(rid)] = _Entry(sequence)
+
+    def get_sequence(self, rid: int) -> str:
+        """The cached sequence of *rid* (KeyError if absent)."""
+        return self._entries[rid].sequence
+
+    def missing(self, rids: np.ndarray) -> np.ndarray:
+        """The subset of *rids* not yet cached (the reads still to fetch).
+
+        RIDs filtered out here count as ``fetch_hits`` — remote fetches the
+        cache made unnecessary.
+        """
+        rids = np.asarray(rids, dtype=np.int64)
+        if rids.size == 0 or not self._entries:
+            return rids
+        cached = np.fromiter(self._entries.keys(), dtype=np.int64, count=len(self._entries))
+        present = np.isin(rids, cached)
+        self.fetch_hits += int(present.sum())
+        return rids[~present]
+
+    def sequences(self) -> dict[int, str]:
+        """RID → sequence view over everything cached (for the aligner)."""
+        return {rid: entry.sequence for rid, entry in self._entries.items()}
+
+    # -- encoded level -------------------------------------------------------
+
+    def encoded(self, rid: int) -> np.ndarray:
+        """The 2-bit code array of *rid*, encoded at most once."""
+        entry = self._entries[rid]
+        if entry.codes is None:
+            self.misses += 1
+            entry.codes = encode_sequence(entry.sequence)
+        else:
+            self.hits += 1
+        return entry.codes
+
+    def encoded_rc(self, rid: int) -> np.ndarray:
+        """The reverse-complement code array of *rid*, derived at most once.
+
+        Complement of a 2-bit code is ``3 - code``; the reverse complement is
+        computed from the cached forward encoding, so a cross-strand task
+        costs one extra buffer the first time and nothing after.
+        """
+        entry = self._entries[rid]
+        if entry.codes_rc is None:
+            self.misses += 1
+            entry.codes_rc = (3 - self.encoded_peek(rid))[::-1].astype(np.uint8)
+        else:
+            self.hits += 1
+        return entry.codes_rc
+
+    def encoded_peek(self, rid: int) -> np.ndarray:
+        """Forward encoding without touching the hit/miss counters."""
+        entry = self._entries[rid]
+        if entry.codes is None:
+            entry.codes = encode_sequence(entry.sequence)
+        return entry.codes
+
+    # -- reporting -----------------------------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        """Counter snapshot in the pipeline's counter-dict convention."""
+        return {
+            "read_cache_hits": self.hits,
+            "read_cache_misses": self.misses,
+            "read_cache_fetch_hits": self.fetch_hits,
+        }

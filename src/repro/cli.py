@@ -78,6 +78,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--nodes", type=int, default=1, help="simulated node count")
     run.add_argument("--ranks-per-node", type=int, default=2)
     run.add_argument("--seed-strategy", choices=["one", "d1000", "dk"], default="one")
+    run.add_argument("--backend", choices=["thread", "process"], default=None,
+                     help="SPMD runtime backend: threads (default) or one process "
+                          "per rank exchanging typed buffers via shared memory")
+    run.add_argument("--exchange-chunk-mb", type=float, default=8.0,
+                     help="per-rank wire budget (MiB) of each overlap-exchange "
+                          "superstep; 0 disables chunking (one monolithic Alltoallv)")
     run.add_argument("--overlaps-out", help="write detected overlaps to this TSV file")
 
     ex = sub.add_parser("experiment", help="regenerate a paper table/figure")
@@ -116,9 +122,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     config = PipelineConfig(
         kmer=KmerSpec(k=args.k),
         seed_strategy=_resolve_strategy(args.seed_strategy, args.k),
+        # 0 disables chunking; negative values fall through to the config's
+        # validation error instead of silently disabling.
+        exchange_chunk_mb=args.exchange_chunk_mb if args.exchange_chunk_mb != 0 else None,
     )
     result = run_dibella(reads, config=config, n_nodes=args.nodes,
-                         ranks_per_node=args.ranks_per_node)
+                         ranks_per_node=args.ranks_per_node, backend=args.backend)
     print(f"input: {source} ({len(reads)} reads, {reads.total_bases} bases)")
     for key, value in result.summary().items():
         print(f"  {key}: {value}")

@@ -10,6 +10,7 @@ benches.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 
 from repro.align.batched_xdrop import DEFAULT_XDROP_BAND
@@ -60,6 +61,19 @@ class PipelineConfig:
     owner_heuristic:
         Task-owner rule in the overlap stage (``"oddeven"`` is Algorithm 1;
         ``"min"`` and ``"random"`` are ablation alternatives).
+    backend:
+        SPMD runtime backend: ``"thread"`` (ranks are threads, zero-copy
+        collectives, compute serialised by the GIL) or ``"process"`` (ranks
+        are processes exchanging typed buffers via shared memory — real
+        multi-core compute).  The default honours the ``DIBELLA_BACKEND``
+        environment variable so whole test/CI runs can be switched without
+        touching call sites.
+    exchange_chunk_mb:
+        Memory bound (MiB of wire payload per rank) on each superstep of the
+        overlap stage's streamed pair exchange; pair generation for chunk
+        ``i+1`` only happens after chunk ``i`` has been shipped, so this also
+        bounds the pair buffers held in flight.  ``None`` disables chunking
+        (one monolithic Alltoallv, the paper's original pattern).
     """
 
     kmer: KmerSpec = field(default_factory=lambda: KmerSpec(k=17))
@@ -78,6 +92,10 @@ class PipelineConfig:
     min_alignment_score: int = 0
     partition_strategy: str = "size"
     owner_heuristic: str = "oddeven"
+    backend: str = field(
+        default_factory=lambda: os.environ.get("DIBELLA_BACKEND", "thread")
+    )
+    exchange_chunk_mb: float | None = 8.0
 
     def __post_init__(self) -> None:
         if self.min_kmer_count < 1:
@@ -96,8 +114,23 @@ class PipelineConfig:
             raise ValueError(f"unknown partition strategy {self.partition_strategy!r}")
         if self.owner_heuristic not in ("oddeven", "min", "random"):
             raise ValueError(f"unknown owner heuristic {self.owner_heuristic!r}")
+        if self.backend not in ("thread", "process"):
+            raise ValueError(f"unknown runtime backend {self.backend!r}")
+        if self.exchange_chunk_mb is not None and self.exchange_chunk_mb <= 0:
+            raise ValueError("exchange_chunk_mb must be positive (or None to disable)")
 
     # -- derived parameters ---------------------------------------------------
+
+    @property
+    def exchange_chunk_bytes(self) -> int | None:
+        """The overlap-exchange chunk bound in bytes (``None`` = unchunked)."""
+        if self.exchange_chunk_mb is None:
+            return None
+        return int(self.exchange_chunk_mb * (1 << 20))
+
+    def with_backend(self, backend: str) -> "PipelineConfig":
+        """Copy of this config running on a different runtime backend."""
+        return replace(self, backend=backend)
 
     def resolve_high_freq_threshold(self, readset: ReadSet | None = None) -> int:
         """The high-occurrence cutoff m actually used for a run.

@@ -14,6 +14,7 @@ def run_dibella(
     config: PipelineConfig | None = None,
     n_nodes: int = 1,
     ranks_per_node: int = 4,
+    backend: str | None = None,
 ) -> PipelineResult:
     """Run the diBELLA pipeline on a read set.
 
@@ -27,7 +28,11 @@ def run_dibella(
     n_nodes / ranks_per_node:
         The simulated machine layout.  ``n_nodes`` is also the node count a
         later performance projection will assume; ``ranks_per_node`` only
-        controls how many SPMD threads the simulation uses per node.
+        controls how many SPMD ranks the simulation uses per node.
+    backend:
+        Convenience override of ``config.backend`` — ``"thread"`` runs the
+        ranks as threads, ``"process"`` as real processes exchanging typed
+        buffers via shared memory (true multi-core compute).
 
     Returns
     -------
@@ -45,5 +50,7 @@ def run_dibella(
     True
     """
     topology = Topology(n_nodes=n_nodes, ranks_per_node=ranks_per_node)
+    if backend is not None:
+        config = (config or PipelineConfig()).with_backend(backend)
     pipeline = DibellaPipeline(config=config, topology=topology)
     return pipeline.run(readset)

@@ -39,10 +39,13 @@ class DibellaPipeline:
     ----------
     config:
         Runtime parameters (see :class:`~repro.core.config.PipelineConfig`).
+        ``config.backend`` selects the SPMD runtime backend: threads (the
+        default) or one process per rank exchanging typed buffers through
+        shared memory.
     topology:
         Simulated node/rank layout.  The number of simulated ranks bounds the
-        thread count; the projection onto real platforms uses the node count
-        plus the platform's own cores-per-node.
+        thread/process count; the projection onto real platforms uses the
+        node count plus the platform's own cores-per-node.
     """
 
     def __init__(self, config: PipelineConfig | None = None,
@@ -72,6 +75,7 @@ class DibellaPipeline:
             high_freq_threshold,
             topology=topology,
             trace=trace,
+            backend=config.backend,
         )
         wall_seconds = time.perf_counter() - start
 

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.align.batch import BatchAligner, TaskBatch
+from repro.align.read_cache import ReadCache
 from repro.core.config import PipelineConfig
 from repro.core.result import RankReport
 from repro.kmers.bloom import BloomFilter
@@ -36,6 +37,7 @@ from repro.overlap.pairs import (
     PairBatch,
     choose_owner,
     generate_pairs,
+    pair_chunk_ranges,
 )
 from repro.overlap.seeds import select_seeds_batched
 from repro.seq.kmer import extract_kmers_batch
@@ -86,6 +88,7 @@ class _RankState:
     retained: RetainedKmers | None = None
     overlaps: OverlapTable = field(default_factory=OverlapTable.empty)
     tasks: TaskBatch = field(default_factory=TaskBatch.empty)
+    read_cache: ReadCache = field(default_factory=ReadCache)
     timers: dict[str, _StageTimer] = field(default_factory=dict)
     work: dict[str, float] = field(default_factory=dict)
     local_bytes: dict[str, float] = field(default_factory=dict)
@@ -285,29 +288,54 @@ def hash_table_stage(comm: SimCommunicator, state: _RankState) -> None:
 # ---------------------------------------------------------------------------
 
 def overlap_stage(comm: SimCommunicator, state: _RankState) -> None:
-    """Stage 3: form all read pairs per retained k-mer and route them to owners."""
+    """Stage 3: form all read pairs per retained k-mer and route them to owners.
+
+    The pair exchange streams in *bounded chunked supersteps* like the k-mer
+    stages: the retained k-mers are split into ranges whose pair expansion
+    fits the ``exchange_chunk_mb`` wire budget (:func:`pair_chunk_ranges`),
+    and each superstep generates, packs and ships only one chunk before the
+    next chunk is expanded — so pair production overlaps the exchange
+    schedule and the in-flight send buffers stay bounded regardless of how
+    many pairs the partition produces in total.  Every rank runs the same
+    number of supersteps (the global maximum), padding with empty exchanges;
+    each superstep is a full ``alltoallv`` and is traced per chunk, so the
+    cost model sees the same total volume plus the true call count.
+    """
     config = state.config
     timer = state.timer("overlap")
     comm.set_phase("overlap_exchange")
     assert state.retained is not None, "hash_table_stage must run before overlap_stage"
 
     with timer.compute():
-        pairs = generate_pairs(state.retained)
-        if len(pairs):
-            destinations = choose_owner(
-                pairs.rid_a, pairs.rid_b, state.read_owner, heuristic=config.owner_heuristic
-            )
-            send = bucket_by_destination(pairs.to_matrix(), destinations, comm.size)
-        else:
-            send = [np.empty((0, 5), dtype=np.int64) for _ in range(comm.size)]
+        chunks = pair_chunk_ranges(state.retained, config.exchange_chunk_bytes)
+    n_supersteps = _global_batch_count(comm, len(chunks))
 
-    with timer.exchange():
-        received = comm.alltoallv(send)
+    pairs_generated = 0
+    received_batches: list[PairBatch] = []
+    for step in range(n_supersteps):
+        with timer.compute():
+            if step < len(chunks):
+                pairs = generate_pairs(state.retained, kmer_range=chunks[step])
+            else:
+                pairs = PairBatch.empty()
+            pairs_generated += len(pairs)
+            if len(pairs):
+                destinations = choose_owner(
+                    pairs.rid_a, pairs.rid_b, state.read_owner,
+                    heuristic=config.owner_heuristic,
+                )
+                send = bucket_by_destination(pairs.to_matrix(), destinations, comm.size)
+            else:
+                send = [np.empty((0, 5), dtype=np.int64) for _ in range(comm.size)]
+        with timer.exchange():
+            received = comm.alltoallv(send)
+        with timer.compute():
+            received_batches.extend(
+                PairBatch.from_matrix(np.asarray(c)) for c in received
+            )
 
     with timer.compute():
-        incoming = PairBatch.concatenate(
-            [PairBatch.from_matrix(np.asarray(c)) for c in received]
-        )
+        incoming = PairBatch.concatenate(received_batches)
         table = OverlapTable.from_pairs(incoming)
         state.overlaps = table
         # Apply the seed-selection constraint, batched over every pair at
@@ -322,55 +350,94 @@ def overlap_stage(comm: SimCommunicator, state: _RankState) -> None:
             same_strand=table.seed_same_strand[selected],
         )
 
-    state.work["overlap"] = float(state.retained.n_occurrences + len(pairs))
+    state.work["overlap"] = float(state.retained.n_occurrences + pairs_generated)
     state.local_bytes["overlap"] = float(
-        state.retained.rids.nbytes + state.retained.positions.nbytes + 32 * len(pairs)
+        state.retained.rids.nbytes + state.retained.positions.nbytes
+        + 32 * pairs_generated
     )
-    state.counters["pairs_generated"] = len(pairs)
+    state.counters["pairs_generated"] = pairs_generated
     state.counters["overlap_pairs"] = len(state.overlaps)
     state.counters["alignment_tasks"] = len(state.tasks)
+    state.counters["overlap_exchange_chunks"] = len(chunks)
 
 
 # ---------------------------------------------------------------------------
 # Stage 4: read exchange and pairwise alignment (§9)
 # ---------------------------------------------------------------------------
 
+def _pack_read_block(rids: np.ndarray, readset: ReadSet) -> tuple[np.ndarray, np.ndarray, bytes]:
+    """Pack read sequences as one typed block: (RIDs, offsets, ASCII bytes).
+
+    The wire format of the alignment-stage read exchange — flat arrays
+    instead of per-read Python tuples, so the payload crosses the typed
+    collectives protocol (and a real network) as three buffers.
+    """
+    rids = np.asarray(rids, dtype=np.int64)
+    sequences = [readset[int(rid)].sequence for rid in rids]
+    lengths = np.fromiter((len(s) for s in sequences), dtype=np.int64, count=len(sequences))
+    offsets = np.concatenate(([0], np.cumsum(lengths))).astype(np.int64)
+    return rids, offsets, "".join(sequences).encode("ascii")
+
+
+def _unpack_read_block(block: tuple[np.ndarray, np.ndarray, bytes],
+                       cache: ReadCache) -> int:
+    """Insert a packed read block into the per-rank read cache."""
+    rids, offsets, blob = block
+    text = bytes(blob).decode("ascii")
+    rids = np.asarray(rids, dtype=np.int64)
+    offsets = np.asarray(offsets, dtype=np.int64)
+    for index, rid in enumerate(rids.tolist()):
+        cache.put(rid, text[offsets[index] : offsets[index + 1]])
+    return int(rids.size)
+
+
 def alignment_stage(comm: SimCommunicator, state: _RankState) -> BatchAligner:
-    """Stage 4: fetch non-local reads, then align every task locally."""
+    """Stage 4: fetch non-local reads, then align every task locally.
+
+    Fetched sequences land in the rank's :class:`ReadCache`, which also
+    memoises the 2-bit encodings the x-drop kernel consumes — repeated tasks
+    against the same read reuse one buffer, and reads already cached are
+    never re-requested from their owner.  The cache's hit/miss counters are
+    surfaced in the run result.
+    """
     config = state.config
     timer = state.timer("alignment")
     comm.set_phase("alignment_exchange")
 
-    local_set = set(state.local_rids)
-
     with timer.compute():
         needed = state.tasks.rids()
         local_arr = np.asarray(state.local_rids, dtype=np.int64)
-        remote = needed[~np.isin(needed, local_arr)]
+        is_local = np.isin(needed, local_arr)
+        local_needed = needed[is_local]
+        for rid in local_needed.tolist():
+            state.read_cache.put(rid, state.readset[rid].sequence)
+        remote = needed[~is_local]
+        to_fetch = state.read_cache.missing(remote)
         # Group read requests by the rank owning each read.
-        request_arrays = bucket_by_destination(remote, state.read_owner[remote], comm.size)
+        request_arrays = bucket_by_destination(
+            to_fetch, state.read_owner[to_fetch], comm.size
+        )
 
     with timer.exchange():
         incoming_requests = comm.alltoallv(request_arrays)
 
     with timer.compute():
-        # Serve requested read sequences back to each requesting rank.
-        responses: list[list[tuple[int, str]]] = []
-        for src in range(comm.size):
-            wanted = np.asarray(incoming_requests[src], dtype=np.int64)
-            responses.append(
-                [(int(rid), state.readset[int(rid)].sequence) for rid in wanted]
-            )
+        # Serve requested read sequences back to each requesting rank as
+        # typed (RIDs, offsets, bytes) blocks.
+        responses = [
+            _pack_read_block(np.asarray(incoming_requests[src], dtype=np.int64),
+                             state.readset)
+            for src in range(comm.size)
+        ]
 
     with timer.exchange():
         incoming_reads = comm.alltoallv(responses)
 
     with timer.compute():
-        sequences: dict[int, str] = {rid: state.readset[rid].sequence for rid in local_set}
-        for chunk in incoming_reads:
-            for rid, sequence in chunk:
-                sequences[rid] = sequence
+        for block in incoming_reads:
+            _unpack_read_block(block, state.read_cache)
 
+        sequences = state.read_cache.sequences()
         aligner = BatchAligner(
             sequences=sequences,
             kernel=config.kernel,
@@ -379,6 +446,7 @@ def alignment_stage(comm: SimCommunicator, state: _RankState) -> BatchAligner:
             xdrop=config.xdrop,
             band=config.band,
             min_score=config.min_alignment_score,
+            cache=state.read_cache,
         )
         results = aligner.align_all(state.tasks)
         n_results = len(results)
@@ -392,7 +460,8 @@ def alignment_stage(comm: SimCommunicator, state: _RankState) -> BatchAligner:
     state.counters["alignments"] = aligner.stats.alignments
     state.counters["accepted_alignments"] = aligner.stats.accepted
     state.counters["dp_cells"] = aligner.stats.cells
-    state.counters["remote_reads_fetched"] = int(remote.size)
+    state.counters["remote_reads_fetched"] = int(to_fetch.size)
+    state.counters.update(state.read_cache.counters())
 
     state._accepted = (  # type: ignore[attr-defined]
         state.tasks.rid_a[accepted].astype(np.int64),

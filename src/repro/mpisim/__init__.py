@@ -5,8 +5,13 @@ supersteps communicating with ``MPI_Alltoall``/``Alltoallv`` (§4).  This
 environment has no MPI implementation, so this subpackage provides a drop-in
 substrate with the same programming model:
 
-* :func:`repro.mpisim.runtime.spmd_run` launches one thread per rank and runs
-  the same Python function on each ("single program, multiple data").
+* :func:`repro.mpisim.runtime.spmd_run` runs the same Python function on
+  every rank ("single program, multiple data") on a pluggable
+  :class:`repro.mpisim.backend.RuntimeBackend`: threads (payloads by
+  reference, default) or one process per rank exchanging explicitly-typed
+  buffers through POSIX shared memory (true multi-core compute; see
+  :mod:`repro.mpisim.serialization` for the dtype+shape wire format and
+  docs/runtime.md for the architecture).
 * :class:`repro.mpisim.communicator.SimCommunicator` exposes the collectives
   the pipeline needs — ``barrier``, ``bcast``, ``gather``, ``allgather``,
   ``allreduce``, ``alltoall``, ``alltoallv`` — with the same semantics as
@@ -27,16 +32,31 @@ memory between threads instead of a network) differs.  See DESIGN.md §1.
 from repro.mpisim.topology import Topology
 from repro.mpisim.tracing import CommTrace, PhaseTraffic
 from repro.mpisim.communicator import SimCommunicator
+from repro.mpisim.backend import (
+    BACKEND_NAMES,
+    ProcessBackend,
+    RuntimeBackend,
+    ThreadBackend,
+    resolve_backend,
+)
 from repro.mpisim.runtime import spmd_run, SPMDError
 from repro.mpisim.collectives import payload_nbytes, bucket_by_destination
+from repro.mpisim.serialization import decode_payload, encode_payload
 
 __all__ = [
     "Topology",
     "CommTrace",
     "PhaseTraffic",
     "SimCommunicator",
+    "RuntimeBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "resolve_backend",
+    "BACKEND_NAMES",
     "spmd_run",
     "SPMDError",
     "payload_nbytes",
     "bucket_by_destination",
+    "encode_payload",
+    "decode_payload",
 ]

@@ -1,0 +1,575 @@
+"""Pluggable SPMD runtime backends: threads or real processes per rank.
+
+:func:`repro.mpisim.runtime.spmd_run` delegates the actual launching of rank
+programs to a :class:`RuntimeBackend`:
+
+* :class:`ThreadBackend` — one thread per rank, collectives move payloads by
+  reference through :class:`repro.mpisim.communicator._CollectiveState`.
+  Zero-copy and fast to start, but the GIL serialises rank *compute*; use it
+  for tests, small runs, and anything dominated by numpy kernels that
+  release the GIL.
+* :class:`ProcessBackend` — one ``multiprocessing`` process per rank, so P
+  ranks really use P cores.  Collectives cross process boundaries as *typed
+  buffers* in POSIX shared memory: every payload is serialised with the
+  explicit dtype+shape wire format of :mod:`repro.mpisim.serialization`,
+  deposited in a ``multiprocessing.shared_memory`` segment, and read by its
+  consumers directly out of shared memory.  ``alltoall``/``alltoallv`` use a
+  destination-direct layout (each rank writes one segment with a
+  per-destination offset table; every peer reads only its slice), so bulk
+  exchanges never funnel through a coordinator rank.
+
+Both backends implement the same deposit/elect/combine/collect protocol, so
+:class:`repro.mpisim.communicator.SimCommunicator` (which owns collective
+semantics and byte accounting) is backend-agnostic, and a pipeline run
+produces bit-identical scientific output under either backend — the
+backend-parity test suite pins exactly that.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import queue as queue_module
+import struct
+import threading
+import time
+from abc import ABC, abstractmethod
+from multiprocessing.shared_memory import SharedMemory
+from typing import Any, Callable
+
+from repro.mpisim.communicator import (
+    CombineFn,
+    SimCommunicator,
+    _CollectiveState,
+)
+from repro.mpisim.errors import CollectiveMismatchError, RankFailedError
+from repro.mpisim.serialization import decode_payload, encode_payload
+from repro.mpisim.topology import Topology
+from repro.mpisim.tracing import CommTrace
+
+__all__ = [
+    "RuntimeBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "resolve_backend",
+    "BACKEND_NAMES",
+]
+
+#: Names accepted by :func:`resolve_backend` (and the ``--backend`` CLI knob).
+BACKEND_NAMES: tuple[str, ...] = ("thread", "process")
+
+#: Fixed-width slots in the shared metadata arrays.
+_NAME_LEN = 64   # shared-memory segment names ("psm_..." style, well under 64)
+_OP_LEN = 48     # collective op names ("allreduce:sum", ...), truncated to fit
+
+#: How long a rank may sit in a barrier before declaring the run wedged.
+#: This bounds *synchronisation* stalls, not compute: a rank legitimately
+#: waits at a barrier for as long as the slowest peer computes, so the
+#: default is generous.  Override with DIBELLA_BARRIER_TIMEOUT (seconds).
+_BARRIER_TIMEOUT = float(os.environ.get("DIBELLA_BARRIER_TIMEOUT", "600"))
+
+
+class RuntimeBackend(ABC):
+    """Strategy interface: how the P rank programs of an SPMD run execute."""
+
+    #: Registry name of the backend ("thread", "process").
+    name: str = ""
+
+    @abstractmethod
+    def run(
+        self,
+        n_ranks: int,
+        fn: Callable[..., Any],
+        args: tuple[Any, ...],
+        kwargs: dict[str, Any],
+        topology: Topology | None,
+        trace: CommTrace | None,
+    ) -> list[Any]:
+        """Execute ``fn(comm, *args, **kwargs)`` on every rank, return results
+        in rank order; raise :class:`RankFailedError` if any rank failed."""
+
+
+def resolve_backend(backend: str | RuntimeBackend | None) -> RuntimeBackend:
+    """Turn a backend name (or an already-built backend) into an instance."""
+    if backend is None:
+        return ThreadBackend()
+    if isinstance(backend, RuntimeBackend):
+        return backend
+    if backend == "thread":
+        return ThreadBackend()
+    if backend == "process":
+        return ProcessBackend()
+    raise ValueError(
+        f"unknown runtime backend {backend!r}; expected one of {BACKEND_NAMES}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Thread backend
+# ---------------------------------------------------------------------------
+
+class ThreadBackend(RuntimeBackend):
+    """Ranks are threads in this process; payloads move by reference."""
+
+    name = "thread"
+
+    def run(self, n_ranks, fn, args, kwargs, topology, trace):
+        state = _CollectiveState(n_ranks)
+        results: list[Any] = [None] * n_ranks
+        failures: list[tuple[int, BaseException]] = []
+        failures_lock = threading.Lock()
+
+        def worker(rank: int) -> None:
+            comm = SimCommunicator(rank, n_ranks, state, topology=topology, trace=trace)
+            try:
+                results[rank] = fn(comm, *args, **kwargs)
+            except threading.BrokenBarrierError:
+                # Another rank failed and aborted the barrier; stay quiet, the
+                # original failure is reported below.
+                pass
+            except BaseException as exc:  # noqa: BLE001 - must capture rank failures
+                with failures_lock:
+                    failures.append((rank, exc))
+                state.abort()
+
+        if n_ranks == 1:
+            # Fast path: no threads for single-rank runs (common in tests and
+            # in the Table 2 single-node comparison).
+            worker(0)
+        else:
+            threads = [
+                threading.Thread(target=worker, args=(rank,), name=f"spmd-rank-{rank}")
+                for rank in range(n_ranks)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        if failures:
+            failures.sort(key=lambda item: item[0])
+            rank, exc = failures[0]
+            raise RankFailedError(
+                f"rank {rank} failed with {type(exc).__name__}: {exc}"
+            ) from exc
+        return results
+
+
+# ---------------------------------------------------------------------------
+# Process backend: shared-memory collective engine
+# ---------------------------------------------------------------------------
+
+def _attach_shm(name: str) -> SharedMemory:
+    """Attach an existing segment created by a peer rank.
+
+    All ranks are children of one parent, so they share a single
+    ``multiprocessing`` resource tracker: the attach-time auto-registration
+    (unconditional on Python <= 3.12) lands in the same set the creator
+    already registered the name into, and the creator's ``unlink`` clears it
+    exactly once.  Do NOT unregister here — that would remove the creator's
+    registration from the shared tracker and produce KeyError noise at its
+    unlink.
+    """
+    return SharedMemory(name=name)
+
+
+class _ProcessCollectiveEngine:
+    """Shared-memory deposit/elect/combine/collect engine.
+
+    All mutable cross-process state lives in ``multiprocessing`` primitives
+    created by the parent and inherited by (or shipped to) the rank
+    processes:
+
+    * a barrier electing one rank per collective,
+    * per-rank slots publishing each rank's collective name and the
+      (name, size) of the shared-memory segment holding its typed
+      contribution,
+    * per-rank result slots filled by the elected rank,
+    * an error slot carrying a pickled exception to every rank.
+
+    Two data paths share the same three-barrier cadence:
+
+    * **central** (reductions, gathers, broadcasts — small payloads): the
+      elected rank decodes every contribution, runs the combine, and writes
+      one typed result segment per rank.
+    * **exchange** (``alltoall``/``alltoallv`` — the bulk path): each rank's
+      segment carries a per-destination offset table, and after a validation
+      barrier every rank reads its slice from every peer's segment directly.
+      No coordinator touches the bulk data.
+    """
+
+    def __init__(self, ctx, n_ranks: int):
+        self.n_ranks = n_ranks
+        self.barrier = ctx.Barrier(n_ranks)
+        self._op_names = ctx.Array("c", n_ranks * _OP_LEN, lock=False)
+        self._contrib_names = ctx.Array("c", n_ranks * _NAME_LEN, lock=False)
+        self._contrib_sizes = ctx.Array("q", n_ranks, lock=False)
+        self._result_names = ctx.Array("c", n_ranks * _NAME_LEN, lock=False)
+        self._result_sizes = ctx.Array("q", n_ranks, lock=False)
+        self._error_name = ctx.Array("c", _NAME_LEN, lock=False)
+        self._error_size = ctx.Value("q", 0, lock=False)
+        # Result segments created by this process when it was elected; they
+        # are unlinked one collective later, after every consumer has read.
+        self._owned_results: list[SharedMemory] = []
+        self._owned_error: SharedMemory | None = None
+
+    # -- slot helpers --------------------------------------------------------
+
+    @staticmethod
+    def _put_str(array, index: int, width: int, value: str) -> None:
+        raw = value.encode("ascii")[:width].ljust(width, b"\0")
+        array[index * width : (index + 1) * width] = raw
+
+    @staticmethod
+    def _get_str(array, index: int, width: int) -> str:
+        raw = bytes(array[index * width : (index + 1) * width])
+        return raw.rstrip(b"\0").decode("ascii")
+
+    def abort(self) -> None:
+        """Break the barrier so ranks blocked in a collective terminate."""
+        self.barrier.abort()
+
+    # -- protocol ------------------------------------------------------------
+
+    def execute(self, rank: int, op_name: str, contribution: Any,
+                combine: CombineFn) -> Any:
+        is_exchange = op_name in ("alltoall", "alltoallv")
+        if is_exchange:
+            blobs = [encode_payload(item) for item in contribution]
+            shm, payload_size = self._write_exchange_segment(blobs)
+        else:
+            payload = encode_payload(contribution)
+            shm, payload_size = self._write_segment(payload)
+        self._put_str(self._op_names, rank, _OP_LEN, op_name[:_OP_LEN])
+        self._put_str(self._contrib_names, rank, _NAME_LEN, shm.name)
+        self._contrib_sizes[rank] = payload_size
+        try:
+            return self._execute_synchronised(rank, is_exchange, shm, blobs if is_exchange else None, combine)
+        except threading.BrokenBarrierError:
+            # A peer failed (or a barrier timed out): nobody will consume this
+            # contribution, so reclaim it before propagating.
+            self._destroy(shm)
+            raise
+
+    def _execute_synchronised(self, rank: int, is_exchange: bool,
+                              shm: SharedMemory, blobs: list[bytes] | None,
+                              combine: CombineFn) -> Any:
+        elected = self.barrier.wait(timeout=_BARRIER_TIMEOUT) == 0
+        if elected:
+            self._error_size.value = 0
+            try:
+                self._validate_ops()
+                if not is_exchange:
+                    self._combine_central(rank, shm, combine)
+            except BaseException as exc:  # propagated to every rank below
+                self._publish_error(exc)
+
+        self.barrier.wait(timeout=_BARRIER_TIMEOUT)
+        error = self._read_error()
+        if error is not None:
+            # Synchronise before reclaiming so every rank has read the error.
+            self.barrier.wait(timeout=_BARRIER_TIMEOUT)
+            self._destroy(shm)
+            if elected:
+                self._release_owned()
+            raise error
+
+        if is_exchange:
+            received = self._read_exchange(rank, blobs)
+            self.barrier.wait(timeout=_BARRIER_TIMEOUT)  # all peers done reading
+            self._destroy(shm)
+            return received
+
+        result = self._read_result(rank)
+        self._destroy(shm)  # elected consumed every contribution before barrier 2
+        self.barrier.wait(timeout=_BARRIER_TIMEOUT)  # all results consumed
+        if elected:
+            self._release_owned()
+        return result
+
+    # -- central path --------------------------------------------------------
+
+    def _combine_central(self, rank: int, own_shm: SharedMemory,
+                         combine: CombineFn) -> None:
+        contributions: list[Any] = []
+        for src in range(self.n_ranks):
+            size = int(self._contrib_sizes[src])
+            if src == rank:
+                contributions.append(decode_payload(own_shm.buf[:size]))
+                continue
+            peer = _attach_shm(self._get_str(self._contrib_names, src, _NAME_LEN))
+            try:
+                contributions.append(decode_payload(peer.buf[:size]))
+            finally:
+                peer.close()
+        results = combine(contributions)
+        if len(results) != self.n_ranks:
+            raise ValueError(
+                f"combine produced {len(results)} results for {self.n_ranks} ranks"
+            )
+        for dst, value in enumerate(results):
+            payload = encode_payload(value)
+            out, size = self._write_segment(payload)
+            self._owned_results.append(out)
+            self._put_str(self._result_names, dst, _NAME_LEN, out.name)
+            self._result_sizes[dst] = size
+
+    def _read_result(self, rank: int) -> Any:
+        size = int(self._result_sizes[rank])
+        shm = _attach_shm(self._get_str(self._result_names, rank, _NAME_LEN))
+        try:
+            return decode_payload(shm.buf[:size])
+        finally:
+            shm.close()
+
+    # -- exchange path -------------------------------------------------------
+
+    def _write_exchange_segment(
+        self, blobs: list[bytes]
+    ) -> tuple[SharedMemory, int]:
+        """One segment per source rank: u64 offset table + concatenated blobs."""
+        header = 8 * (self.n_ranks + 1)
+        offsets = [header]
+        for blob in blobs:
+            offsets.append(offsets[-1] + len(blob))
+        table = struct.pack(f"<{self.n_ranks + 1}Q", *offsets)
+        total = offsets[-1]
+        shm = SharedMemory(create=True, size=max(1, total))
+        shm.buf[:header] = table
+        for blob, start in zip(blobs, offsets[:-1]):
+            shm.buf[start : start + len(blob)] = blob
+        return shm, total
+
+    def _read_exchange(self, rank: int, own_blobs: list[bytes]) -> list[Any]:
+        received: list[Any] = []
+        for src in range(self.n_ranks):
+            if src == rank:
+                received.append(decode_payload(own_blobs[rank]))
+                continue
+            peer = _attach_shm(self._get_str(self._contrib_names, src, _NAME_LEN))
+            try:
+                table = struct.unpack_from(f"<{self.n_ranks + 1}Q", peer.buf, 0)
+                received.append(decode_payload(peer.buf[table[rank] : table[rank + 1]]))
+            finally:
+                peer.close()
+        return received
+
+    # -- errors and cleanup ---------------------------------------------------
+
+    def _validate_ops(self) -> None:
+        names = {self._get_str(self._op_names, r, _OP_LEN) for r in range(self.n_ranks)}
+        if len(names) != 1:
+            raise CollectiveMismatchError(
+                f"ranks disagree on collective: {sorted(names)}"
+            )
+
+    def _publish_error(self, exc: BaseException) -> None:
+        try:
+            payload = pickle.dumps(exc)
+        except Exception:
+            payload = pickle.dumps(
+                RuntimeError(f"{type(exc).__name__}: {exc}")
+            )
+        self._release_owned()  # partial results from the failed combine
+        shm, size = self._write_segment(payload)
+        self._owned_error = shm
+        self._put_str(self._error_name, 0, _NAME_LEN, shm.name)
+        self._error_size.value = size
+
+    def _read_error(self) -> BaseException | None:
+        size = int(self._error_size.value)
+        if size == 0:
+            return None
+        if self._owned_error is not None:  # the elected rank already holds it
+            return pickle.loads(bytes(self._owned_error.buf[:size]))
+        shm = _attach_shm(self._get_str(self._error_name, 0, _NAME_LEN))
+        try:
+            return pickle.loads(bytes(shm.buf[:size]))
+        finally:
+            shm.close()
+
+    @staticmethod
+    def _write_segment(payload: bytes) -> tuple[SharedMemory, int]:
+        shm = SharedMemory(create=True, size=max(1, len(payload)))
+        shm.buf[: len(payload)] = payload
+        return shm, len(payload)
+
+    @staticmethod
+    def _destroy(shm: SharedMemory) -> None:
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def _release_owned(self) -> None:
+        """Unlink result/error segments this process created for a previous
+        collective (their consumers have all read by the time the next
+        collective's first barrier passes)."""
+        for shm in self._owned_results:
+            self._destroy(shm)
+        self._owned_results.clear()
+        if self._owned_error is not None:
+            self._destroy(self._owned_error)
+            self._owned_error = None
+
+    def shutdown(self) -> None:
+        """Final cleanup at the end of a rank program."""
+        self._release_owned()
+
+
+def _process_worker(
+    rank: int,
+    n_ranks: int,
+    engine: _ProcessCollectiveEngine,
+    fn: Callable[..., Any],
+    args: tuple[Any, ...],
+    kwargs: dict[str, Any],
+    topology: Topology | None,
+    want_trace: bool,
+    results_queue,
+) -> None:
+    """Body of one rank process: run the program, ship back result + trace."""
+    trace = CommTrace(n_ranks) if want_trace else None
+    comm = SimCommunicator(rank, n_ranks, engine, topology=topology, trace=trace)
+    status, payload = "ok", None
+    try:
+        payload = fn(comm, *args, **kwargs)
+    except threading.BrokenBarrierError:
+        # A peer failed (or the parent aborted); the originating failure is
+        # reported by that peer.
+        status = "broken"
+    except BaseException as exc:  # noqa: BLE001 - must capture rank failures
+        engine.abort()
+        status, payload = "error", exc
+        # Exceptions are the payloads most likely to resist pickling (queue
+        # serialisation happens in a feeder thread, where a failure would
+        # silently drop the message); degrade to a carrier early.
+        try:
+            pickle.dumps(payload)
+        except Exception:
+            payload = RuntimeError(f"{type(exc).__name__}: {exc}")
+    finally:
+        engine.shutdown()
+    snapshot = trace.snapshot() if trace is not None else None
+    results_queue.put((rank, status, payload, snapshot))
+
+
+class ProcessBackend(RuntimeBackend):
+    """Ranks are OS processes; collectives move typed buffers in shared memory.
+
+    Parameters
+    ----------
+    start_method:
+        ``multiprocessing`` start method.  Defaults to ``"fork"`` where
+        available (rank programs and their arguments need not be picklable,
+        and the read set is inherited copy-on-write); ``"spawn"`` works too
+        but requires picklable ``fn``/args.
+    """
+
+    name = "process"
+
+    def __init__(self, start_method: str | None = None):
+        import multiprocessing as mp
+
+        if start_method is None:
+            start_method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        self._ctx = mp.get_context(start_method)
+        self.start_method = start_method
+
+    def run(self, n_ranks, fn, args, kwargs, topology, trace):
+        # Start the resource tracker in the parent BEFORE forking so every
+        # rank shares it.  Attach-time auto-registrations then deduplicate
+        # into the one set the creator's unlink clears; with per-child
+        # trackers they would instead survive as spurious "leaked
+        # shared_memory" warnings at worker exit.
+        try:  # pragma: no cover - trivial plumbing
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:
+            pass
+        engine = _ProcessCollectiveEngine(self._ctx, n_ranks)
+        results_queue = self._ctx.Queue()
+        workers = [
+            self._ctx.Process(
+                target=_process_worker,
+                args=(rank, n_ranks, engine, fn, args, kwargs, topology,
+                      trace is not None, results_queue),
+                name=f"spmd-rank-{rank}",
+            )
+            for rank in range(n_ranks)
+        ]
+        for proc in workers:
+            proc.start()
+
+        # Drain results *before* joining: a worker only exits once its queue
+        # feeder thread has flushed, so joining first could deadlock on large
+        # results.  A worker that dies without reporting (segfault, kill)
+        # is detected by its exit code and converted into a rank failure.
+        reported: dict[int, tuple[str, Any, dict | None]] = {}
+        failures: list[tuple[int, BaseException]] = []
+        failed_ranks: set[int] = set()
+        dead_deadline: dict[int, float] = {}
+        while len(reported) + len(failures) < n_ranks:
+            try:
+                rank, status, payload, snapshot = results_queue.get(timeout=0.5)
+                reported[rank] = (status, payload, snapshot)
+            except queue_module.Empty:
+                # A worker that died without reporting (segfault, OOM kill)
+                # never sends a message; give its pipe a short grace period,
+                # then convert the death into a rank failure.
+                now = time.monotonic()
+                for rank, proc in enumerate(workers):
+                    if rank in reported or rank in failed_ranks:
+                        continue
+                    if proc.exitcode is None:
+                        continue
+                    if rank not in dead_deadline:
+                        dead_deadline[rank] = now + 5.0
+                    elif now >= dead_deadline[rank]:
+                        engine.abort()  # wake peers blocked on the dead rank
+                        failed_ranks.add(rank)
+                        failures.append((rank, RuntimeError(
+                            f"rank process exited with code {proc.exitcode} "
+                            "without reporting a result"
+                        )))
+        for proc in workers:
+            proc.join()
+        results_queue.close()
+
+        # Merge per-rank traces in rank order (deterministic phase order).
+        if trace is not None:
+            for rank in sorted(reported):
+                snapshot = reported[rank][2]
+                if snapshot is not None:
+                    trace.merge_snapshot(snapshot)
+
+        results: list[Any] = [None] * n_ranks
+        broken_ranks: list[int] = []
+        for rank, (status, payload, _snapshot) in reported.items():
+            if status == "ok":
+                results[rank] = payload
+            elif status == "error":
+                failures.append((rank, payload))
+            else:  # "broken": normally a peer's failure is reported by that peer
+                broken_ranks.append(rank)
+
+        if failures:
+            failures.sort(key=lambda item: item[0])
+            rank, exc = failures[0]
+            raise RankFailedError(
+                f"rank {rank} failed with {type(exc).__name__}: {exc}"
+            ) from exc
+        if broken_ranks:
+            # Every broken barrier should trace back to an originating rank
+            # failure; if none was reported the barrier broke on its own —
+            # a timeout (a rank stalled past DIBELLA_BARRIER_TIMEOUT) or an
+            # external abort.  Never return partial [None] results as success.
+            raise RankFailedError(
+                f"ranks {sorted(broken_ranks)} aborted on a broken barrier with "
+                "no originating rank failure (collective timeout after "
+                f"{_BARRIER_TIMEOUT:.0f}s, or an external abort); "
+                "set DIBELLA_BARRIER_TIMEOUT to raise the limit"
+            )
+        return results

@@ -1,9 +1,8 @@
-"""Thread-backed SPMD communicator with MPI-like collectives.
+"""SPMD communicator with MPI-like collectives over a pluggable engine.
 
 Each rank of an :func:`repro.mpisim.runtime.spmd_run` execution holds one
-:class:`SimCommunicator`; all communicators of a run share a
-:class:`_CollectiveState`.  A collective proceeds in three synchronised
-steps:
+:class:`SimCommunicator`; all communicators of a run share one *collective
+engine* that implements the synchronised deposit/combine/collect protocol:
 
 1. every rank deposits its contribution and the name of the collective it is
    calling into its own slot and waits on a barrier;
@@ -12,6 +11,13 @@ steps:
    the per-rank results, and releases the barrier;
 3. every rank picks up its result and synchronises once more so slots can be
    reused by the next collective.
+
+The communicator owns the *semantics* of every collective (the ``combine``
+functions below) and the byte accounting; the engine owns the *transport*.
+Two engines exist: the thread engine in this module (ranks share one address
+space, payloads move by reference) and the shared-memory process engine in
+:mod:`repro.mpisim.backend` (payloads cross process boundaries as typed
+buffers — see :mod:`repro.mpisim.serialization`).
 
 This mirrors MPI semantics closely enough for the pipeline — in particular
 ``alltoallv`` delivers, to each rank, exactly the payloads addressed to it by
@@ -22,7 +28,7 @@ single choke point at which to do byte accounting and mismatch detection.
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Protocol, Sequence
 
 import numpy as np
 
@@ -31,9 +37,34 @@ from repro.mpisim.errors import CollectiveMismatchError
 from repro.mpisim.topology import Topology
 from repro.mpisim.tracing import CommTrace
 
+#: Combine function signature: per-rank contributions -> per-rank results.
+CombineFn = Callable[[list[Any]], list[Any]]
+
+
+class CollectiveEngine(Protocol):
+    """Transport protocol underneath :class:`SimCommunicator`.
+
+    ``execute`` runs one collective for the calling rank and blocks until the
+    result is available; every rank of the execution must call it with the
+    same ``op_name`` (engines detect mismatches and raise on every rank).
+    ``abort`` wakes ranks blocked inside a collective when a peer fails.
+    """
+
+    n_ranks: int
+
+    def execute(self, rank: int, op_name: str, contribution: Any,
+                combine: CombineFn) -> Any: ...
+
+    def abort(self) -> None: ...
+
 
 class _CollectiveState:
-    """State shared by all ranks of one SPMD execution."""
+    """Thread engine: state shared by all ranks of one SPMD execution.
+
+    Contributions and results move between ranks by reference — all ranks
+    live in one address space, so no serialisation happens.  The elected rank
+    (barrier index 0) runs the combine while the others wait.
+    """
 
     def __init__(self, n_ranks: int):
         self.n_ranks = n_ranks
@@ -47,6 +78,37 @@ class _CollectiveState:
         """Break the barrier so ranks blocked in a collective terminate."""
         self.barrier.abort()
 
+    def execute(self, rank: int, op_name: str, contribution: Any,
+                combine: CombineFn) -> Any:
+        """Run one collective: deposit, combine on the elected rank, collect."""
+        self.op_names[rank] = op_name
+        self.contributions[rank] = contribution
+
+        index = self.barrier.wait()
+        if index == 0:
+            try:
+                names = set(self.op_names)
+                if len(names) != 1:
+                    raise CollectiveMismatchError(
+                        f"ranks disagree on collective: {sorted(str(n) for n in names)}"
+                    )
+                self.results = combine(list(self.contributions))
+                self.error = None
+            except BaseException as exc:  # propagate to every rank below
+                self.error = exc
+                self.results = [None] * self.n_ranks
+
+        self.barrier.wait()
+        error = self.error
+        result = self.results[rank]
+
+        # Final synchronisation so no rank starts the next collective while
+        # laggards are still reading results from this one.
+        self.barrier.wait()
+        if error is not None:
+            raise error
+        return result
+
 
 class SimCommunicator:
     """Per-rank handle onto the simulated communicator.
@@ -55,8 +117,8 @@ class SimCommunicator:
     ----------
     rank, size:
         This rank's index and the total number of ranks.
-    state:
-        The shared :class:`_CollectiveState` (one per SPMD execution).
+    engine:
+        The shared :class:`CollectiveEngine` (one per SPMD execution).
     topology:
         Rank→node mapping; defaults to a single node hosting all ranks.
     trace:
@@ -67,7 +129,7 @@ class SimCommunicator:
         self,
         rank: int,
         size: int,
-        state: _CollectiveState,
+        engine: CollectiveEngine,
         topology: Topology | None = None,
         trace: CommTrace | None = None,
     ) -> None:
@@ -75,7 +137,7 @@ class SimCommunicator:
             raise ValueError(f"rank {rank} out of range for size {size}")
         self.rank = rank
         self.size = size
-        self._state = state
+        self._engine = engine
         self.topology = topology or Topology.single_node(size)
         if self.topology.n_ranks != size:
             raise ValueError(
@@ -92,41 +154,9 @@ class SimCommunicator:
 
     # -- core synchronisation protocol ------------------------------------------
 
-    def _collective(
-        self,
-        op_name: str,
-        contribution: Any,
-        combine: Callable[[list[Any]], list[Any]],
-    ) -> Any:
-        """Run one collective: deposit, combine on the elected rank, collect."""
-        state = self._state
-        state.op_names[self.rank] = op_name
-        state.contributions[self.rank] = contribution
-
-        index = state.barrier.wait()
-        if index == 0:
-            try:
-                names = set(state.op_names)
-                if len(names) != 1:
-                    raise CollectiveMismatchError(
-                        f"ranks disagree on collective: {sorted(str(n) for n in names)}"
-                    )
-                state.results = combine(list(state.contributions))
-                state.error = None
-            except BaseException as exc:  # propagate to every rank below
-                state.error = exc
-                state.results = [None] * state.n_ranks
-
-        state.barrier.wait()
-        error = state.error
-        result = state.results[self.rank]
-
-        # Final synchronisation so no rank starts the next collective while
-        # laggards are still reading results from this one.
-        state.barrier.wait()
-        if error is not None:
-            raise error
-        return result
+    def _collective(self, op_name: str, contribution: Any, combine: CombineFn) -> Any:
+        """Run one collective through the engine."""
+        return self._engine.execute(self.rank, op_name, contribution, combine)
 
     # -- collectives -------------------------------------------------------------
 
@@ -214,18 +244,21 @@ class SimCommunicator:
         send = list(send)
         if len(send) != self.size:
             raise ValueError(f"alltoallv needs {self.size} payloads, got {len(send)}")
-        if self.trace is not None and self.rank == 0:
-            self.trace.record_alltoallv_call()
         return self._exchange("alltoallv", send)
 
     # -- helpers ------------------------------------------------------------------
 
     def _exchange(self, op_name: str, send: list[Any]) -> list[Any]:
+        # All exchange accounting lives here so that ``alltoall`` and
+        # ``alltoallv`` (and therefore every chunked superstep of a streamed
+        # exchange) count calls identically: one global-Alltoallv ordinal and
+        # one per-phase collective call per invocation.
         if self.trace is not None:
             sizes = np.array([payload_nbytes(p) for p in send], dtype=np.int64)
             self.trace.record_send(self.rank, sizes)
             if self.rank == 0:
                 self.trace.record_collective_call(self.trace.current_phase(0))
+                self.trace.record_alltoallv_call()
 
         def combine(contribs: list[Any]) -> list[Any]:
             # contribs[src][dst] is the payload src sends to dst; transpose it.

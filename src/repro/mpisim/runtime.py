@@ -1,22 +1,29 @@
-"""SPMD launcher: run the same function on every rank, in threads.
+"""SPMD launcher: run the same function on every rank.
 
 :func:`spmd_run` is the equivalent of ``mpiexec -n P python program.py`` for
 the simulated runtime: it creates ``P`` communicators sharing one collective
-state, runs ``fn(comm, *args, **kwargs)`` on each in its own thread, and
-returns the per-rank results in rank order.
+engine, runs ``fn(comm, *args, **kwargs)`` on each rank, and returns the
+per-rank results in rank order.
+
+*Where* the ranks execute is pluggable (see :mod:`repro.mpisim.backend`):
+
+* ``backend="thread"`` (default) — ranks are threads sharing this process's
+  address space; collectives pass payloads by reference.
+* ``backend="process"`` — ranks are ``multiprocessing`` processes; P ranks
+  really occupy P cores, and collectives move explicitly-typed buffers
+  through POSIX shared memory.
 
 Error handling follows the "fail fast, fail loudly" rule for SPMD programs:
 if any rank raises, the runtime aborts the shared barrier (so ranks blocked
-in a collective wake up instead of deadlocking), joins all threads, and
+in a collective wake up instead of deadlocking), reaps all ranks, and
 re-raises the first failure wrapped in :class:`RankFailedError`.
 """
 
 from __future__ import annotations
 
-import threading
 from typing import Any, Callable
 
-from repro.mpisim.communicator import SimCommunicator, _CollectiveState
+from repro.mpisim.backend import RuntimeBackend, resolve_backend
 from repro.mpisim.errors import RankFailedError, SPMDError
 from repro.mpisim.topology import Topology
 from repro.mpisim.tracing import CommTrace
@@ -30,6 +37,7 @@ def spmd_run(
     *args: Any,
     topology: Topology | None = None,
     trace: CommTrace | None = None,
+    backend: str | RuntimeBackend | None = None,
     **kwargs: Any,
 ) -> list[Any]:
     """Run *fn* as an SPMD program over *n_ranks* simulated ranks.
@@ -37,14 +45,22 @@ def spmd_run(
     Parameters
     ----------
     n_ranks:
-        Number of ranks (threads) to launch.
+        Number of ranks to launch.
     fn:
         The rank program.  Called as ``fn(comm, *args, **kwargs)`` where
-        ``comm`` is that rank's :class:`SimCommunicator`.
+        ``comm`` is that rank's :class:`SimCommunicator`.  Under the process
+        backend's default ``fork`` start method anything callable works; a
+        ``spawn`` start method additionally requires ``fn`` and its
+        arguments to be picklable.
     topology:
         Optional rank→node topology (defaults to one node with all ranks).
     trace:
         Optional :class:`CommTrace` to record communication volumes into.
+        With the process backend each rank records into a private trace that
+        is merged into this one after the run.
+    backend:
+        ``"thread"`` (default), ``"process"``, or a ready-made
+        :class:`RuntimeBackend` instance.
 
     Returns
     -------
@@ -62,43 +78,5 @@ def spmd_run(
         raise ValueError(
             f"topology describes {topology.n_ranks} ranks but n_ranks={n_ranks}"
         )
-
-    state = _CollectiveState(n_ranks)
-    results: list[Any] = [None] * n_ranks
-    failures: list[tuple[int, BaseException]] = []
-    failures_lock = threading.Lock()
-
-    def worker(rank: int) -> None:
-        comm = SimCommunicator(rank, n_ranks, state, topology=topology, trace=trace)
-        try:
-            results[rank] = fn(comm, *args, **kwargs)
-        except threading.BrokenBarrierError:
-            # Another rank failed and aborted the barrier; stay quiet, the
-            # original failure is reported below.
-            pass
-        except BaseException as exc:  # noqa: BLE001 - must capture rank failures
-            with failures_lock:
-                failures.append((rank, exc))
-            state.abort()
-
-    if n_ranks == 1:
-        # Fast path: no threads for single-rank runs (common in tests and in
-        # the Table 2 single-node comparison).
-        worker(0)
-    else:
-        threads = [
-            threading.Thread(target=worker, args=(rank,), name=f"spmd-rank-{rank}")
-            for rank in range(n_ranks)
-        ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
-
-    if failures:
-        failures.sort(key=lambda item: item[0])
-        rank, exc = failures[0]
-        raise RankFailedError(
-            f"rank {rank} failed with {type(exc).__name__}: {exc}"
-        ) from exc
-    return results
+    runtime = resolve_backend(backend)
+    return runtime.run(n_ranks, fn, args, kwargs, topology, trace)

@@ -128,6 +128,46 @@ class CommTrace:
             self._alltoallv_calls += 1
             return self._alltoallv_calls
 
+    # -- cross-process merging ---------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Picklable copy of everything recorded so far.
+
+        The multiprocess runtime backend gives each rank process its own
+        local ``CommTrace``; at the end of the run each worker ships this
+        snapshot back to the parent, which folds them together with
+        :meth:`merge_snapshot`.  (The trace object itself holds a lock and is
+        therefore not picklable.)
+        """
+        with self._lock:
+            return {
+                "phases": {
+                    name: {
+                        "volume": traffic.volume.copy(),
+                        "messages": traffic.messages.copy(),
+                        "collective_calls": traffic.collective_calls,
+                    }
+                    for name, traffic in self._phases.items()
+                },
+                "alltoallv_calls": self._alltoallv_calls,
+            }
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` from another process into this trace.
+
+        Byte/message matrices and call counters add element-wise; each worker
+        only records its own rank's rows (and only rank 0 counts collective
+        calls), so merging per-rank snapshots reproduces exactly what a
+        single shared trace would have recorded.
+        """
+        with self._lock:
+            for name, data in snapshot["phases"].items():
+                traffic = self._phases.setdefault(name, PhaseTraffic(self.n_ranks))
+                traffic.volume += np.asarray(data["volume"], dtype=np.int64)
+                traffic.messages += np.asarray(data["messages"], dtype=np.int64)
+                traffic.collective_calls += int(data["collective_calls"])
+            self._alltoallv_calls += int(snapshot["alltoallv_calls"])
+
     # -- reporting ---------------------------------------------------------------
 
     def phases(self) -> list[str]:

@@ -17,6 +17,7 @@ to one processor" (§4).  This subpackage implements
 from repro.overlap.pairs import (
     PairBatch,
     generate_pairs,
+    pair_chunk_ranges,
     owner_heuristic_oddeven,
     choose_owner,
     consolidate_pairs,
@@ -29,6 +30,7 @@ from repro.overlap.graph import build_overlap_graph, overlap_graph_summary
 __all__ = [
     "PairBatch",
     "generate_pairs",
+    "pair_chunk_ranges",
     "owner_heuristic_oddeven",
     "choose_owner",
     "consolidate_pairs",

@@ -188,9 +188,38 @@ class OverlapTable:
                    seed_pos_a=z.copy(), seed_pos_b=z.copy(),
                    seed_same_strand=np.empty(0, dtype=bool))
 
+    @staticmethod
+    def _consolidation_order(ra: np.ndarray, rb: np.ndarray, pa: np.ndarray,
+                             pb: np.ndarray, ss: np.ndarray) -> np.ndarray:
+        """Stable sort order by (rid_a, rid_b, pos_a, pos_b, strand).
+
+        A 5-key :func:`numpy.lexsort` costs five stable sort passes; RIDs and
+        positions are small non-negative integers, so whenever the combined
+        key widths fit the keys are bit-packed into one (or two) uint64
+        words, cutting the passes to one (or two).  The packing is order
+        isomorphic — each field gets exactly the bits its maximum needs — so
+        the resulting order is identical to the full lexsort.
+        """
+        if ra.size == 0:
+            return np.empty(0, dtype=np.int64)
+        maxima = [int(arr.max()) for arr in (ra, rb, pa, pb)]
+        if min(int(arr.min()) for arr in (ra, rb, pa, pb)) >= 0:
+            b_ra, b_rb, b_pa, b_pb = (max(1, m.bit_length()) for m in maxima)
+            u = [arr.astype(np.uint64) for arr in (ra, rb, pa, pb, ss)]
+            if b_ra + b_rb + b_pa + b_pb + 1 <= 64:
+                key = u[0]
+                for value, width in zip(u[1:], (b_rb, b_pa, b_pb, 1)):
+                    key = (key << np.uint64(width)) | value
+                return np.argsort(key, kind="stable")
+            if b_ra + b_rb <= 64 and b_pa + b_pb + 1 <= 64:
+                major = (u[0] << np.uint64(b_rb)) | u[1]
+                minor = (u[2] << np.uint64(b_pb + 1)) | (u[3] << np.uint64(1)) | u[4]
+                return np.lexsort((minor, major))
+        return np.lexsort((ss, pb, pa, rb, ra))
+
     @classmethod
     def from_pairs(cls, batch: PairBatch) -> "OverlapTable":
-        """Consolidate a task batch into a table: one lexsort, no Python loops.
+        """Consolidate a task batch into a table: one sort, no Python loops.
 
         Duplicate seeds (same pair, same positions and orientation — possible
         when a k-mer repeats inside a read) are removed; seeds end up sorted
@@ -199,7 +228,8 @@ class OverlapTable:
         if len(batch) == 0:
             return cls.empty()
         same = batch.same_strand.astype(np.int64)
-        order = np.lexsort((same, batch.pos_b, batch.pos_a, batch.rid_b, batch.rid_a))
+        order = cls._consolidation_order(batch.rid_a, batch.rid_b, batch.pos_a,
+                                         batch.pos_b, same)
         ra = batch.rid_a[order]
         rb = batch.rid_b[order]
         pa = batch.pos_a[order]
@@ -286,7 +316,47 @@ def choose_owner(
 # Pair generation from a hash-table partition
 # ---------------------------------------------------------------------------
 
-def generate_pairs(retained: RetainedKmers) -> PairBatch:
+#: Wire bytes of one pair row in the exchange matrix (5 int64 columns).
+PAIR_WIRE_BYTES = 40
+
+
+def pair_chunk_ranges(retained: RetainedKmers, max_chunk_bytes: int | None) -> list[tuple[int, int]]:
+    """Split a partition's retained k-mers into bounded pair-generation chunks.
+
+    Returns half-open k-mer index ranges ``(k0, k1)`` such that the pairs
+    generated from each range fit in roughly ``max_chunk_bytes`` of wire
+    payload (``PAIR_WIRE_BYTES`` per pair, before the ``rid_a != rid_b``
+    filter — a conservative upper bound on the packed matrix).  A k-mer's
+    pairs are never split across chunks, so a single k-mer whose c(c-1)/2
+    expansion exceeds the budget gets a chunk of its own; the streaming
+    overlap stage therefore bounds its in-flight exchange memory at
+    ``max(max_chunk_bytes, largest single-k-mer expansion)`` per rank.
+
+    ``max_chunk_bytes=None`` disables chunking (one range with everything),
+    reproducing the monolithic single-Alltoallv exchange.
+    """
+    n = retained.n_kmers
+    if n == 0:
+        return []
+    if max_chunk_bytes is None:
+        return [(0, n)]
+    counts = retained.counts().astype(np.int64)
+    pair_counts = counts * (counts - 1) // 2
+    cum = np.concatenate(([0], np.cumsum(pair_counts)))
+    max_pairs = max(1, int(max_chunk_bytes) // PAIR_WIRE_BYTES)
+    ranges: list[tuple[int, int]] = []
+    start = 0
+    while start < n:
+        end = int(np.searchsorted(cum, cum[start] + max_pairs, side="right")) - 1
+        end = min(max(end, start + 1), n)
+        ranges.append((start, end))
+        start = end
+    return ranges
+
+
+def generate_pairs(
+    retained: RetainedKmers, kmer_range: tuple[int, int] | None = None
+) -> PairBatch:
     """All read pairs sharing each retained k-mer of one partition.
 
     For a k-mer with occurrence list ``[(r_0, p_0), ..., (r_{c-1}, p_{c-1})]``
@@ -295,7 +365,12 @@ def generate_pairs(retained: RetainedKmers) -> PairBatch:
     ``[2, m(m-1)/2]`` bound of §8).  Pairs are normalised so that
     ``rid_a < rid_b``.
 
-    The expansion is computed in one shot for *all* retained k-mers from the
+    ``kmer_range`` restricts the expansion to the retained k-mers with index
+    in ``[k0, k1)`` — the unit of the streaming overlap exchange (ranges come
+    from :func:`pair_chunk_ranges`).  Concatenating the batches of a full
+    cover of ranges yields exactly the pairs of a whole-partition call.
+
+    The expansion is computed in one shot for *all* selected k-mers from the
     flat offsets/counts arrays: every occurrence at within-group index ``w``
     is paired with its ``w`` predecessors, so the pair list is built with a
     handful of ``repeat``/``cumsum`` operations instead of a per-k-mer loop.
@@ -303,20 +378,34 @@ def generate_pairs(retained: RetainedKmers) -> PairBatch:
     if retained.n_kmers == 0 or retained.n_occurrences == 0:
         return PairBatch.empty()
 
-    counts = retained.counts()
-    group_starts = retained.offsets[:-1]
-    n_occ = retained.n_occurrences
+    if kmer_range is None:
+        k0, k1 = 0, retained.n_kmers
+    else:
+        k0, k1 = kmer_range
+        if not (0 <= k0 <= k1 <= retained.n_kmers):
+            raise ValueError(
+                f"kmer_range {kmer_range} out of bounds for {retained.n_kmers} k-mers"
+            )
+    if k0 == k1:
+        return PairBatch.empty()
 
-    # Within-group index of every occurrence: w[s + t] = t for the group
-    # starting at s.  Occurrence j pairs with its w[j] predecessors.
-    within = np.arange(n_occ, dtype=np.int64) - np.repeat(group_starts, counts)
+    counts = retained.counts()[k0:k1]
+    group_starts = retained.offsets[k0:k1]
+    occ_lo, occ_hi = int(retained.offsets[k0]), int(retained.offsets[k1])
+    n_occ = occ_hi - occ_lo
+    if n_occ == 0:
+        return PairBatch.empty()
+
+    # Within-group index of every occurrence in the range: w[s + t] = t for
+    # the group starting at s.  Occurrence j pairs with its w[j] predecessors.
+    within = np.arange(occ_lo, occ_hi, dtype=np.int64) - np.repeat(group_starts, counts)
     reps = within  # occurrence j appears as the "right" element w[j] times
     total = int(reps.sum())
     if total == 0:
         return PairBatch.empty()
 
     # Right element of each pair: occurrence j repeated w[j] times.
-    j_glob = np.repeat(np.arange(n_occ, dtype=np.int64), reps)
+    j_glob = np.repeat(np.arange(occ_lo, occ_hi, dtype=np.int64), reps)
     # Left element: for the block of pairs owned by occurrence j, the
     # predecessors group_start[g] .. j-1 in order.
     block_starts = np.concatenate(([0], np.cumsum(reps)))[:-1]

@@ -1,0 +1,259 @@
+"""Runtime-backend tests: process-backend collectives and thread/process parity.
+
+The fast tier exercises the shared-memory process backend at the collective
+level (same programs the thread-backend suite runs, plus error propagation
+through process boundaries).  The slow tier runs the full pipeline under
+both backends and asserts the *scientific output is identical* — the
+distributed runtime is an implementation detail that must never change the
+answer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mpisim.backend import ProcessBackend, ThreadBackend, resolve_backend
+from repro.mpisim.errors import CollectiveMismatchError, RankFailedError
+from repro.mpisim.runtime import spmd_run
+from repro.mpisim.tracing import CommTrace
+
+
+class TestResolveBackend:
+    def test_names(self):
+        assert isinstance(resolve_backend("thread"), ThreadBackend)
+        assert isinstance(resolve_backend("process"), ProcessBackend)
+        assert isinstance(resolve_backend(None), ThreadBackend)
+
+    def test_instance_passthrough(self):
+        backend = ThreadBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            resolve_backend("mpi")
+
+
+def _collective_program(comm):
+    """One program touching every collective with typed payloads."""
+    total = comm.allreduce(comm.rank + 1, op="sum")
+    peak = comm.allreduce(np.full(4, comm.rank, dtype=np.uint8), op="max")
+    send = [np.full(comm.rank + 1, d, dtype=np.int64) for d in range(comm.size)]
+    received = comm.alltoallv(send)
+    assert all(received[s].size == s + 1 for s in range(comm.size))
+    assert all((received[s] == comm.rank).all() for s in range(comm.size))
+    labels = comm.alltoall([f"{comm.rank}->{d}" for d in range(comm.size)])
+    broadcast = comm.bcast("hello" if comm.rank == 1 else None, root=1)
+    gathered = comm.gather(comm.rank * 2, root=0)
+    everyone = comm.allgather(comm.rank)
+    comm.barrier()
+    return (total, int(peak.max()), labels[0], broadcast, gathered, everyone)
+
+
+class TestProcessCollectives:
+    def test_full_collective_program(self):
+        results = spmd_run(3, _collective_program, backend="process")
+        for rank, (total, peak, label, broadcast, gathered, everyone) in enumerate(results):
+            assert total == 6
+            assert peak == 2
+            assert label == f"0->{rank}"
+            assert broadcast == "hello"
+            assert everyone == [0, 1, 2]
+            assert gathered == ([0, 2, 4] if rank == 0 else None)
+
+    def test_matches_thread_backend(self):
+        thread = spmd_run(3, _collective_program, backend="thread")
+        process = spmd_run(3, _collective_program, backend="process")
+        assert thread == process
+
+    def test_single_rank(self):
+        assert spmd_run(1, lambda comm: comm.allreduce(41) + 1, backend="process") == [42]
+
+    def test_typed_arrays_roundtrip_exactly(self):
+        def program(comm):
+            matrix = np.arange(12, dtype=np.uint64).reshape(6, 2) + np.uint64(comm.rank)
+            return comm.allgather(matrix)
+
+        results = spmd_run(2, program, backend="process")
+        for gathered in results:
+            assert gathered[0].dtype == np.uint64
+            assert gathered[0].shape == (6, 2)
+            np.testing.assert_array_equal(gathered[1] - gathered[0], np.uint64(1))
+
+    def test_results_in_rank_order(self):
+        assert spmd_run(4, lambda comm: comm.rank ** 2, backend="process") == [0, 1, 4, 9]
+
+
+class TestProcessErrorHandling:
+    def test_rank_exception_propagates(self):
+        def program(comm):
+            if comm.rank == 1:
+                raise RuntimeError("boom")
+            comm.barrier()  # would deadlock without abort handling
+
+        with pytest.raises(RankFailedError, match="rank 1") as err:
+            spmd_run(3, program, backend="process")
+        assert isinstance(err.value.__cause__, RuntimeError)
+
+    def test_collective_mismatch_detected(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.barrier()
+            else:
+                comm.allreduce(1)
+
+        with pytest.raises(RankFailedError) as err:
+            spmd_run(2, program, backend="process")
+        assert isinstance(err.value.__cause__, CollectiveMismatchError)
+
+    def test_untyped_payload_rejected(self):
+        class Opaque:
+            pass
+
+        def program(comm):
+            return comm.allgather(Opaque())
+
+        with pytest.raises(RankFailedError) as err:
+            spmd_run(2, program, backend="process")
+        assert "typed collectives protocol" in str(err.value.__cause__)
+
+    def test_barrier_timeout_raises_not_silent_none(self, monkeypatch):
+        # A barrier that breaks with no originating rank failure (a stalled
+        # rank exceeding the collective timeout) must surface as an error,
+        # never as a successful [None, ...] result list.
+        import time
+
+        from repro.mpisim import backend as backend_module
+
+        monkeypatch.setattr(backend_module, "_BARRIER_TIMEOUT", 0.5)
+
+        def program(comm):
+            if comm.rank == 0:
+                time.sleep(2.0)
+            comm.barrier()
+            return comm.rank
+
+        with pytest.raises(RankFailedError, match="broken barrier"):
+            spmd_run(2, program, backend="process")
+
+    def test_no_shared_memory_leaked(self):
+        import os
+
+        def program(comm):
+            comm.alltoallv([np.arange(100, dtype=np.int64)] * comm.size)
+            return comm.allreduce(1)
+
+        spmd_run(3, program, backend="process")
+        try:
+            segments = [f for f in os.listdir("/dev/shm") if f.startswith("psm_")]
+        except FileNotFoundError:  # pragma: no cover - non-POSIX-shm platform
+            segments = []
+        assert segments == []
+
+
+class TestProcessTracing:
+    def test_trace_merged_identically_to_thread(self):
+        def program(comm):
+            comm.set_phase("phase_a")
+            comm.alltoallv([np.zeros(comm.rank + 1, dtype=np.int64)] * comm.size)
+            comm.set_phase("phase_b")
+            comm.alltoallv([np.ones(2, dtype=np.int64)] * comm.size)
+
+        thread_trace, process_trace = CommTrace(3), CommTrace(3)
+        spmd_run(3, program, trace=thread_trace, backend="thread")
+        spmd_run(3, program, trace=process_trace, backend="process")
+        assert thread_trace.summary() == process_trace.summary()
+        for phase in thread_trace.phases():
+            np.testing.assert_array_equal(
+                thread_trace.phase_traffic(phase).volume,
+                process_trace.phase_traffic(phase).volume,
+            )
+
+    def test_exchange_counts_alltoallv_calls(self):
+        # The unified _exchange accounting: alltoall and alltoallv both count
+        # (chunked supersteps rely on this).
+        def program(comm):
+            comm.set_phase("p")
+            comm.alltoall(list(range(comm.size)))
+            comm.alltoallv([np.zeros(1, dtype=np.int64)] * comm.size)
+
+        trace = CommTrace(2)
+        spmd_run(2, program, trace=trace, backend="thread")
+        assert trace.phase_traffic("p").collective_calls == 2
+        assert trace.snapshot()["alltoallv_calls"] == 2
+
+
+@pytest.mark.slow
+class TestPipelineParity:
+    """End-to-end: both backends must produce bit-identical science."""
+
+    @pytest.fixture(scope="class")
+    def runs(self, micro_dataset, micro_config):
+        from repro.core.driver import run_dibella
+
+        thread = run_dibella(micro_dataset.reads,
+                             config=micro_config.with_backend("thread"),
+                             n_nodes=1, ranks_per_node=3)
+        process = run_dibella(micro_dataset.reads,
+                              config=micro_config.with_backend("process"),
+                              n_nodes=1, ranks_per_node=3)
+        return thread, process
+
+    def test_overlap_pairs_identical(self, runs):
+        thread, process = runs
+        assert thread.overlap_pairs() == process.overlap_pairs()
+
+    def test_per_rank_overlap_tables_identical(self, runs):
+        thread, process = runs
+        for t_table, p_table in zip(thread.overlap_tables(), process.overlap_tables()):
+            np.testing.assert_array_equal(t_table.rid_a, p_table.rid_a)
+            np.testing.assert_array_equal(t_table.rid_b, p_table.rid_b)
+            np.testing.assert_array_equal(t_table.seed_offsets, p_table.seed_offsets)
+            np.testing.assert_array_equal(t_table.seed_pos_a, p_table.seed_pos_a)
+            np.testing.assert_array_equal(t_table.seed_pos_b, p_table.seed_pos_b)
+            np.testing.assert_array_equal(t_table.seed_same_strand,
+                                          p_table.seed_same_strand)
+
+    def test_alignment_tables_identical(self, runs):
+        thread, process = runs
+        t_table, p_table = thread.alignment_table(), process.alignment_table()
+        for column in t_table:
+            np.testing.assert_array_equal(t_table[column], p_table[column])
+
+    def test_all_counters_identical(self, runs):
+        thread, process = runs
+        assert thread.counters == process.counters
+
+    def test_trace_volumes_identical(self, runs):
+        thread, process = runs
+        assert thread.trace.total_bytes() == process.trace.total_bytes()
+        for phase in thread.trace.phases():
+            np.testing.assert_array_equal(
+                thread.trace.phase_traffic(phase).volume,
+                process.trace.phase_traffic(phase).volume,
+            )
+
+    def test_chunked_exchange_invariant_under_chunk_size(self, micro_dataset,
+                                                         micro_config):
+        from dataclasses import replace
+
+        from repro.core.driver import run_dibella
+
+        monolithic = run_dibella(micro_dataset.reads,
+                                 config=replace(micro_config, exchange_chunk_mb=None),
+                                 ranks_per_node=2)
+        streamed = run_dibella(micro_dataset.reads,
+                               config=replace(micro_config, exchange_chunk_mb=0.001),
+                               ranks_per_node=2)
+        assert streamed.overlap_pairs() == monolithic.overlap_pairs()
+        assert streamed.counters["pairs_generated"] == monolithic.counters["pairs_generated"]
+        assert (streamed.counters["overlap_exchange_chunks"]
+                > monolithic.counters["overlap_exchange_chunks"])
+        # Same total exchange volume, more collective calls (per-chunk trace).
+        assert (streamed.trace.phase_traffic("overlap_exchange").total_bytes
+                == monolithic.trace.phase_traffic("overlap_exchange").total_bytes)
+        assert (streamed.trace.phase_traffic("overlap_exchange").collective_calls
+                > monolithic.trace.phase_traffic("overlap_exchange").collective_calls)
+
+    def test_read_cache_counters_present(self, runs):
+        thread, _process = runs
+        assert thread.counters["read_cache_misses"] > 0
+        assert thread.counters["read_cache_hits"] > 0

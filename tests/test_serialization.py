@@ -1,0 +1,169 @@
+"""Property tests for the typed collectives wire protocol.
+
+The multiprocess backend moves every collective payload through
+:mod:`repro.mpisim.serialization`; these tests pin the round-trip invariant
+``decode(encode(x)) == x`` (types, dtypes, shapes and values preserved) over
+the full supported type lattice, plus the strictness guarantees (unsupported
+types and corrupt frames raise instead of guessing).
+"""
+
+import numpy as np
+import pytest
+
+from repro.mpisim.serialization import (
+    UnsupportedPayloadError,
+    decode_payload,
+    encode_payload,
+)
+
+
+def roundtrip(value):
+    return decode_payload(encode_payload(value))
+
+
+def assert_equal_typed(original, decoded):
+    """Deep equality that also checks types, dtypes and shapes."""
+    assert type(decoded) is type(original), (type(original), type(decoded))
+    if isinstance(original, np.ndarray):
+        assert decoded.dtype == original.dtype
+        assert decoded.shape == original.shape
+        np.testing.assert_array_equal(decoded, original)
+    elif isinstance(original, (list, tuple)):
+        assert len(decoded) == len(original)
+        for a, b in zip(original, decoded):
+            assert_equal_typed(a, b)
+    elif isinstance(original, dict):
+        assert list(decoded.keys()) == list(original.keys())
+        for key in original:
+            assert_equal_typed(original[key], decoded[key])
+    elif isinstance(original, float) and original != original:  # NaN
+        assert decoded != decoded
+    else:
+        assert decoded == original
+
+
+class TestScalars:
+    @pytest.mark.parametrize("value", [
+        None, True, False, 0, 7, -12345, 2**62, -(2**62), 0.0, 3.5, -1e300,
+        float("inf"), float("nan"), "", "hello", "ünïcødé ☂", b"", b"abc",
+        bytes(range(256)),
+    ])
+    def test_roundtrip(self, value):
+        assert_equal_typed(value, roundtrip(value))
+
+    def test_big_ints_beyond_64_bits(self):
+        for value in (2**63, -(2**63) - 1, 10**30, -(10**30)):
+            assert roundtrip(value) == value
+
+    def test_numpy_scalars_decode_as_python(self):
+        assert roundtrip(np.int64(42)) == 42
+        assert isinstance(roundtrip(np.int64(42)), int)
+        assert roundtrip(np.float64(2.5)) == 2.5
+        assert roundtrip(np.bool_(True)) is True
+
+    def test_bytearray_and_memoryview_decode_as_bytes(self):
+        assert roundtrip(bytearray(b"xy")) == b"xy"
+        assert roundtrip(memoryview(b"xy")) == b"xy"
+
+
+class TestArrays:
+    @pytest.mark.parametrize("dtype", [
+        np.int8, np.int16, np.int32, np.int64, np.uint8, np.uint16,
+        np.uint32, np.uint64, np.float32, np.float64, np.bool_,
+    ])
+    def test_dtypes(self, dtype, rng):
+        array = rng.integers(0, 100, size=17).astype(dtype)
+        assert_equal_typed(array, roundtrip(array))
+
+    @pytest.mark.parametrize("shape", [(0,), (1,), (5,), (3, 4), (2, 3, 4), (0, 5), ()])
+    def test_shapes(self, shape, rng):
+        array = rng.standard_normal(size=shape)
+        assert_equal_typed(array, roundtrip(array))
+
+    def test_non_contiguous_input(self):
+        base = np.arange(24, dtype=np.int64).reshape(4, 6)
+        view = base[::2, ::3]  # non C-contiguous
+        decoded = roundtrip(view)
+        np.testing.assert_array_equal(decoded, view)
+
+    def test_decoded_array_owns_writable_data(self):
+        decoded = roundtrip(np.arange(5, dtype=np.int64))
+        decoded[0] = 99  # must not be a read-only frombuffer view
+        assert decoded[0] == 99
+
+    def test_random_roundtrips(self, rng):
+        for _ in range(50):
+            dtype = rng.choice([np.int64, np.uint64, np.float64, np.uint8])
+            ndim = int(rng.integers(1, 3))
+            shape = tuple(int(rng.integers(0, 6)) for _ in range(ndim))
+            array = (rng.integers(0, 2**31, size=shape)).astype(dtype)
+            assert_equal_typed(array, roundtrip(array))
+
+
+class TestContainers:
+    def test_pipeline_shaped_payloads(self, rng):
+        """The shapes the pipeline actually sends through collectives."""
+        payloads = [
+            # k-mer codes (bloom stage)
+            rng.integers(0, 2**62, size=100).astype(np.uint64),
+            # (code, packed meta) matrix (hash-table stage)
+            rng.integers(0, 2**62, size=(40, 2)).astype(np.uint64),
+            # (n, 5) pair matrix (overlap stage)
+            rng.integers(0, 1000, size=(25, 5)).astype(np.int64),
+            # packed read block (alignment stage)
+            (np.array([3, 7], dtype=np.int64),
+             np.array([0, 4, 9], dtype=np.int64), b"ACGTACGTA"),
+            # HLL registers + scalar counters
+            rng.integers(0, 32, size=2**8).astype(np.uint8),
+            7,
+        ]
+        for payload in payloads:
+            assert_equal_typed(payload, roundtrip(payload))
+
+    def test_nested(self):
+        value = {
+            "a": [1, 2.5, None, "x"],
+            "b": (np.arange(3), [b"raw", {"k": np.float32(1.5).item()}]),
+            3: [[], (), {}],
+        }
+        assert_equal_typed(value, roundtrip(value))
+
+    def test_list_vs_tuple_preserved(self):
+        assert type(roundtrip([1, 2])) is list
+        assert type(roundtrip((1, 2))) is tuple
+
+    def test_dict_insertion_order_preserved(self):
+        value = {"z": 1, "a": 2, "m": 3}
+        assert list(roundtrip(value).keys()) == ["z", "a", "m"]
+
+
+class TestStrictness:
+    def test_unsupported_types_raise(self):
+        class Custom:
+            pass
+
+        for bad in (Custom(), {1, 2}, frozenset((3,)), object(), lambda: None):
+            with pytest.raises(UnsupportedPayloadError):
+                encode_payload(bad)
+
+    def test_unsupported_nested_raises(self):
+        with pytest.raises(UnsupportedPayloadError):
+            encode_payload([1, {"bad": {1, 2}}])
+
+    def test_object_dtype_array_raises(self):
+        with pytest.raises(UnsupportedPayloadError):
+            encode_payload(np.array([object()], dtype=object))
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            decode_payload(encode_payload(7) + b"extra")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ValueError):
+            decode_payload(b"Z")
+
+    def test_sizes_are_exact_for_arrays(self):
+        array = np.zeros(100, dtype=np.int64)
+        encoded = encode_payload(array)
+        # tag + dtype header + ndim + shape + raw buffer, no pickle bloat
+        assert len(encoded) < array.nbytes + 32

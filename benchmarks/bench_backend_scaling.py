@@ -19,10 +19,24 @@ cores.  Two measurements:
   output asserted identical (the runtime backend must never change the
   answer).
 
+* **Double-buffer gate** — the pipeline with a small overlap-exchange chunk
+  budget (many supersteps), double-buffered vs bulk-synchronous, under the
+  process backend.  Double buffering publishes chunk i+1 while the peers
+  still read chunk i, so the *exposed* overlap-exchange time (blocking
+  collective calls on the slowest rank) must drop on hosts with enough
+  cores; output is asserted bit-identical either way.
+
+* **Pool-amortisation gate** — two consecutive pooled pipeline runs: the
+  first pays pool creation (fork + queue setup) and cold read caches, the
+  second must be faster (and fetch zero remote reads — its rank processes
+  kept their caches).  Output asserted identical across both runs and the
+  unpooled baseline.
+
 Runs standalone: ``python benchmarks/bench_backend_scaling.py``.
 Environment knobs: ``REPRO_BENCH_RANKS`` (default 4),
 ``REPRO_BENCH_GENOME`` (default 12000 bp, pipeline part),
-``REPRO_BENCH_OVERLAP_REPEATS`` (default 3, gate part).
+``REPRO_BENCH_OVERLAP_REPEATS`` (default 3, gate part),
+``REPRO_BENCH_DB_REPEATS`` (default 3, double-buffer gate).
 """
 
 from __future__ import annotations
@@ -107,7 +121,8 @@ def _overlap_stage_program(comm, partitions, n_reads_max, repeats):
             else:
                 pairs = PairBatch.empty()
             if len(pairs):
-                destinations = choose_owner(pairs.rid_a, pairs.rid_b, read_owner)
+                destinations = choose_owner(pairs.rid_a, pairs.rid_b, read_owner,
+                                            swapped=pairs.swapped)
                 send = bucket_by_destination(pairs.to_matrix(), destinations,
                                              comm.size)
             else:
@@ -195,6 +210,104 @@ def run_pipeline_comparison() -> dict[str, float]:
     return metrics
 
 
+# ---------------------------------------------------------------------------
+# Part 3: the double-buffer gate (exposed overlap-exchange time)
+# ---------------------------------------------------------------------------
+
+def _alignment_tables_equal(a, b) -> bool:
+    ta, tb = a.alignment_table(), b.alignment_table()
+    return all(np.array_equal(ta[col], tb[col]) for col in ta)
+
+
+def run_double_buffer_gate() -> dict[str, float]:
+    """Exposed overlap-exchange time: double-buffered vs bulk-synchronous."""
+    repeats = int(os.environ.get("REPRO_BENCH_DB_REPEATS", "3"))
+    reads = _pipeline_workload()
+    # A small chunk budget forces many supersteps per rank, which is where
+    # double buffering earns its keep (one chunk per rank has nothing to
+    # overlap).
+    base = PipelineConfig(coverage_hint=30.0, error_rate_hint=0.10,
+                          kmer=KmerSpec(k=17), backend="process",
+                          exchange_chunk_mb=0.125)
+    metrics: dict[str, float] = {}
+    results = {}
+    for label, double_buffer in (("sync", False), ("db", True)):
+        config = base.with_double_buffer(double_buffer)
+        exposed, walls = [], []
+        for _ in range(repeats):
+            result = run_dibella(reads, config=config, n_nodes=1,
+                                 ranks_per_node=RANKS)
+            results[label] = result
+            exposed.append(float(result.stage("overlap")
+                                 .wall_exchange_seconds.max(initial=0.0)))
+            walls.append(result.wall_seconds)
+        metrics[f"{label}_overlap_exposed_seconds"] = min(exposed)
+        metrics[f"{label}_pipeline_wall_seconds"] = min(walls)
+    assert _alignment_tables_equal(results["sync"], results["db"]), \
+        "double buffering changed the scientific output"
+    assert results["db"].counters["overlap_chunks_overlapped"] > 0, \
+        "double-buffer gate workload produced a single chunk - nothing overlapped"
+    metrics["overlap_exchange_chunks"] = float(
+        results["db"].counters["overlap_exchange_chunks"])
+    metrics["db_exposed_ratio"] = (
+        metrics["db_overlap_exposed_seconds"]
+        / max(metrics["sync_overlap_exposed_seconds"], 1e-12)
+    )
+    return metrics
+
+
+# ---------------------------------------------------------------------------
+# Part 4: the pool-amortisation gate
+# ---------------------------------------------------------------------------
+
+def run_pool_gate() -> dict[str, float]:
+    """Two consecutive pooled runs: the second must beat the first cold one.
+
+    Uses a deliberately small workload (``REPRO_BENCH_POOL_GENOME``, default
+    5000 bp): pool amortisation targets exactly the regime where per-run
+    fixed costs — forking ranks, importing, re-fetching and re-encoding
+    reads — are a visible fraction of the run.
+    """
+    from repro.core.stages import reset_persistent_read_caches
+    from repro.mpisim.backend import shutdown_rank_pools
+
+    genome_length = int(os.environ.get("REPRO_BENCH_POOL_GENOME", "5000"))
+    spec = DatasetSpec(
+        name="pool-amortisation",
+        genome=GenomeSpec(length=genome_length, repeat_fraction=0.02,
+                          repeat_length=300, seed=199),
+        reads=ReadSimSpec(coverage=30.0, mean_read_length=1000,
+                          min_read_length=400, error_rate=0.10, seed=200),
+    )
+    reads = generate_dataset(spec).reads
+    config = PipelineConfig(coverage_hint=30.0, error_rate_hint=0.10,
+                            kmer=KmerSpec(k=17), backend="process", pool=True)
+    shutdown_rank_pools()
+    reset_persistent_read_caches()
+    try:
+        start = time.perf_counter()
+        cold = run_dibella(reads, config=config, n_nodes=1, ranks_per_node=RANKS)
+        cold_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = run_dibella(reads, config=config, n_nodes=1, ranks_per_node=RANKS)
+        warm_wall = time.perf_counter() - start
+    finally:
+        shutdown_rank_pools()
+        reset_persistent_read_caches()
+    assert _alignment_tables_equal(cold, warm), \
+        "pooled rank reuse changed the scientific output"
+    assert warm.counters["read_cache_fetch_hits"] > 0, \
+        "second pooled run fetched no reads from the persistent cache"
+    assert warm.counters["remote_reads_fetched"] == 0, \
+        "second pooled run still fetched remote reads"
+    return {
+        "pool_cold_seconds": cold_wall,
+        "pool_warm_seconds": warm_wall,
+        "pool_amortization": cold_wall / max(warm_wall, 1e-12),
+        "pool_warm_fetch_hits": float(warm.counters["read_cache_fetch_hits"]),
+    }
+
+
 def run_bench() -> dict[str, float]:
     metrics = {
         "ranks": float(RANKS),
@@ -202,6 +315,8 @@ def run_bench() -> dict[str, float]:
     }
     metrics.update(run_overlap_gate())
     metrics.update(run_pipeline_comparison())
+    metrics.update(run_double_buffer_gate())
+    metrics.update(run_pool_gate())
     return metrics
 
 
@@ -234,17 +349,44 @@ def format_report(metrics: dict[str, float]) -> str:
         f"  {'pipeline':<12} {metrics['thread_wall_seconds']:>9.3f}s "
         f"{metrics['process_wall_seconds']:>9.3f}s {metrics['pipeline_speedup']:>8.2f}x"
     )
+    lines.extend([
+        f"double-buffer gate ({metrics['overlap_exchange_chunks']:.0f} overlap "
+        f"chunks, process backend):",
+        f"  exposed overlap exchange: sync "
+        f"{metrics['sync_overlap_exposed_seconds'] * 1e3:.2f}ms, double-buffered "
+        f"{metrics['db_overlap_exposed_seconds'] * 1e3:.2f}ms "
+        f"(ratio {metrics['db_exposed_ratio']:.2f}, gate < 1.0 "
+        + ("enforced)" if gate_active else "not enforced on this host)"),
+        f"pool-amortisation gate (process backend, {metrics['ranks']:.0f} ranks):",
+        f"  cold {metrics['pool_cold_seconds']:.3f}s -> warm "
+        f"{metrics['pool_warm_seconds']:.3f}s "
+        f"({metrics['pool_amortization']:.2f}x, {metrics['pool_warm_fetch_hits']:.0f} "
+        f"cross-run read-cache fetch hits; gate > 1.0 "
+        + ("enforced)" if gate_active else "not enforced on this host)"),
+    ])
     return "\n".join(lines)
 
 
 if __name__ == "__main__":
     bench_metrics = run_bench()
     print(format_report(bench_metrics))
-    if (bench_metrics["cores"] >= bench_metrics["ranks"]
-            and bench_metrics["overlap_speedup"] < MIN_OVERLAP_SPEEDUP):
+    gate_enforced = bench_metrics["cores"] >= bench_metrics["ranks"]
+    if gate_enforced and bench_metrics["overlap_speedup"] < MIN_OVERLAP_SPEEDUP:
         sys.exit(
             f"FAIL: overlap-stage speedup {bench_metrics['overlap_speedup']:.2f}x "
             f"below the {MIN_OVERLAP_SPEEDUP:.1f}x gate on a "
             f"{bench_metrics['cores']:.0f}-core host"
+        )
+    if gate_enforced and bench_metrics["db_exposed_ratio"] >= 1.0:
+        sys.exit(
+            f"FAIL: double buffering did not lower the exposed overlap-exchange "
+            f"time (ratio {bench_metrics['db_exposed_ratio']:.2f} >= 1.0) on a "
+            f"{bench_metrics['cores']:.0f}-core host"
+        )
+    if gate_enforced and bench_metrics["pool_amortization"] <= 1.0:
+        sys.exit(
+            f"FAIL: second pooled run ({bench_metrics['pool_warm_seconds']:.3f}s) "
+            f"was not faster than the cold run "
+            f"({bench_metrics['pool_cold_seconds']:.3f}s)"
         )
     print("PASS")

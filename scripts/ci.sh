@@ -3,14 +3,17 @@
 #
 # Tiers:
 #   fast  — unit tests only (-m "not slow"), a few seconds; run on every change.
-#           Runs twice: under the default thread backend and under the
-#           multiprocess shared-memory backend (DIBELLA_BACKEND=process).
+#           Runs three times: under the default thread backend, under the
+#           multiprocess shared-memory backend (DIBELLA_BACKEND=process), and
+#           under the process backend with the persistent rank pool
+#           (DIBELLA_POOL=1) so pooled engine reuse is exercised suite-wide.
 #   slow  — the end-to-end pipeline / harness / baseline tests, also under
 #           both runtime backends.
 #   bench — the perf gates: the overlap microbenchmark (pair generation,
 #           consolidation and seed selection vs their loop oracles) and the
 #           backend scaling bench (process-backend overlap-stage speedup,
-#           enforced only on hosts with enough cores).
+#           double-buffered exposed-exchange reduction, and pool
+#           amortisation; enforced only on hosts with enough cores).
 #
 # Usage:
 #   scripts/ci.sh          # everything (the tier-1 gate plus the perf gates)
@@ -26,6 +29,9 @@ python -m pytest tests -m "not slow" -q
 
 echo "== fast tier: unit tests (process backend) =="
 DIBELLA_BACKEND=process python -m pytest tests -m "not slow" -q
+
+echo "== fast tier: unit tests (process backend + persistent rank pool) =="
+DIBELLA_POOL=1 DIBELLA_BACKEND=process python -m pytest tests -m "not slow" -q
 
 if [ "$tier" = "all" ]; then
     echo "== slow tier: end-to-end pipeline tests (thread backend) =="

@@ -84,6 +84,15 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--exchange-chunk-mb", type=float, default=8.0,
                      help="per-rank wire budget (MiB) of each overlap-exchange "
                           "superstep; 0 disables chunking (one monolithic Alltoallv)")
+    run.add_argument("--pool", action="store_true", default=None,
+                     help="acquire ranks from the persistent rank pool (processes "
+                          "parked on a barrier between runs; amortises startup and "
+                          "keeps per-rank read caches across runs; DIBELLA_POOL=1 "
+                          "has the same effect)")
+    run.add_argument("--no-double-buffer", action="store_true",
+                     help="disable double buffering of the overlap exchange "
+                          "(bulk-synchronous supersteps; output is bit-identical "
+                          "either way)")
     run.add_argument("--overlaps-out", help="write detected overlaps to this TSV file")
 
     ex = sub.add_parser("experiment", help="regenerate a paper table/figure")
@@ -126,8 +135,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # validation error instead of silently disabling.
         exchange_chunk_mb=args.exchange_chunk_mb if args.exchange_chunk_mb != 0 else None,
     )
+    if args.no_double_buffer:
+        config = config.with_double_buffer(False)
     result = run_dibella(reads, config=config, n_nodes=args.nodes,
-                         ranks_per_node=args.ranks_per_node, backend=args.backend)
+                         ranks_per_node=args.ranks_per_node, backend=args.backend,
+                         pool=args.pool)
     print(f"input: {source} ({len(reads)} reads, {reads.total_bases} bases)")
     for key, value in result.summary().items():
         print(f"  {key}: {value}")

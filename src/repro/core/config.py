@@ -21,6 +21,14 @@ from repro.seq.kmer import KmerSpec
 from repro.seq.records import ReadSet
 
 
+def _env_flag(name: str, default: bool) -> bool:
+    """Parse a boolean environment knob (unset -> *default*)."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    return raw.strip().lower() not in ("0", "", "false", "off", "no")
+
+
 @dataclass(frozen=True)
 class PipelineConfig:
     """All runtime parameters of a diBELLA run.
@@ -70,10 +78,27 @@ class PipelineConfig:
         touching call sites.
     exchange_chunk_mb:
         Memory bound (MiB of wire payload per rank) on each superstep of the
-        overlap stage's streamed pair exchange; pair generation for chunk
-        ``i+1`` only happens after chunk ``i`` has been shipped, so this also
-        bounds the pair buffers held in flight.  ``None`` disables chunking
-        (one monolithic Alltoallv, the paper's original pattern).
+        overlap stage's streamed pair exchange; at most two chunks are in
+        flight per rank (the double buffer), so this also bounds the pair
+        buffers held in memory.  ``None`` disables chunking (one monolithic
+        Alltoallv, the paper's original pattern).
+    double_buffer:
+        Double-buffer the overlap stage's chunked pair exchange: chunk
+        ``i+1`` is generated and published while the peers are still reading
+        chunk ``i`` (split-phase ``alltoallv_start``/``alltoallv_finish``),
+        hiding pair-generation latency behind the exchange.  Scientific
+        output is bit-identical either way; the default honours
+        ``DIBELLA_DOUBLE_BUFFER`` (set to ``0`` to force the
+        bulk-synchronous schedule).
+    pool:
+        Run the SPMD program on the persistent rank pool: with the process
+        backend, rank processes park on a barrier between ``spmd_run``
+        invocations instead of being re-forked, amortising startup across
+        repeated runs, and each rank's alignment-stage read cache persists
+        across runs over the same read set (keyed by a data-set generation
+        tag, so a reused rank never serves stale reads).  The thread backend
+        has no fork cost but still keeps the cross-run read caches.  The
+        default honours ``DIBELLA_POOL``.
     """
 
     kmer: KmerSpec = field(default_factory=lambda: KmerSpec(k=17))
@@ -96,6 +121,10 @@ class PipelineConfig:
         default_factory=lambda: os.environ.get("DIBELLA_BACKEND", "thread")
     )
     exchange_chunk_mb: float | None = 8.0
+    double_buffer: bool = field(
+        default_factory=lambda: _env_flag("DIBELLA_DOUBLE_BUFFER", True)
+    )
+    pool: bool = field(default_factory=lambda: _env_flag("DIBELLA_POOL", False))
 
     def __post_init__(self) -> None:
         if self.min_kmer_count < 1:
@@ -131,6 +160,14 @@ class PipelineConfig:
     def with_backend(self, backend: str) -> "PipelineConfig":
         """Copy of this config running on a different runtime backend."""
         return replace(self, backend=backend)
+
+    def with_pool(self, pool: bool) -> "PipelineConfig":
+        """Copy of this config with the persistent rank pool on or off."""
+        return replace(self, pool=pool)
+
+    def with_double_buffer(self, double_buffer: bool) -> "PipelineConfig":
+        """Copy of this config with overlap-exchange double buffering on or off."""
+        return replace(self, double_buffer=double_buffer)
 
     def resolve_high_freq_threshold(self, readset: ReadSet | None = None) -> int:
         """The high-occurrence cutoff m actually used for a run.

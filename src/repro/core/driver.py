@@ -15,6 +15,7 @@ def run_dibella(
     n_nodes: int = 1,
     ranks_per_node: int = 4,
     backend: str | None = None,
+    pool: bool | None = None,
 ) -> PipelineResult:
     """Run the diBELLA pipeline on a read set.
 
@@ -33,6 +34,10 @@ def run_dibella(
         Convenience override of ``config.backend`` — ``"thread"`` runs the
         ranks as threads, ``"process"`` as real processes exchanging typed
         buffers via shared memory (true multi-core compute).
+    pool:
+        Convenience override of ``config.pool`` — True keeps the rank
+        processes (and each rank's read cache for this read set) alive
+        across runs, amortising startup for repeated invocations.
 
     Returns
     -------
@@ -52,5 +57,7 @@ def run_dibella(
     topology = Topology(n_nodes=n_nodes, ranks_per_node=ranks_per_node)
     if backend is not None:
         config = (config or PipelineConfig()).with_backend(backend)
+    if pool is not None:
+        config = (config or PipelineConfig()).with_pool(pool)
     pipeline = DibellaPipeline(config=config, topology=topology)
     return pipeline.run(readset)

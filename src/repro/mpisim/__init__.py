@@ -37,7 +37,9 @@ from repro.mpisim.backend import (
     ProcessBackend,
     RuntimeBackend,
     ThreadBackend,
+    active_rank_pools,
     resolve_backend,
+    shutdown_rank_pools,
 )
 from repro.mpisim.runtime import spmd_run, SPMDError
 from repro.mpisim.collectives import payload_nbytes, bucket_by_destination
@@ -52,6 +54,8 @@ __all__ = [
     "ThreadBackend",
     "ProcessBackend",
     "resolve_backend",
+    "shutdown_rank_pools",
+    "active_rank_pools",
     "BACKEND_NAMES",
     "spmd_run",
     "SPMDError",

@@ -27,6 +27,7 @@ backend-parity test suite pins exactly that.
 
 from __future__ import annotations
 
+import atexit
 import os
 import pickle
 import queue as queue_module
@@ -52,6 +53,8 @@ __all__ = [
     "ThreadBackend",
     "ProcessBackend",
     "resolve_backend",
+    "shutdown_rank_pools",
+    "active_rank_pools",
     "BACKEND_NAMES",
 ]
 
@@ -89,8 +92,16 @@ class RuntimeBackend(ABC):
         in rank order; raise :class:`RankFailedError` if any rank failed."""
 
 
-def resolve_backend(backend: str | RuntimeBackend | None) -> RuntimeBackend:
-    """Turn a backend name (or an already-built backend) into an instance."""
+def resolve_backend(backend: str | RuntimeBackend | None,
+                    pool: bool = False) -> RuntimeBackend:
+    """Turn a backend name (or an already-built backend) into an instance.
+
+    ``pool=True`` asks the process backend to acquire its ranks from the
+    persistent rank pool (see :class:`_RankPool`) instead of forking fresh
+    processes; the thread backend has no fork cost to amortise and ignores
+    the flag.  An explicitly constructed :class:`RuntimeBackend` instance is
+    passed through untouched (its own pooling setting wins).
+    """
     if backend is None:
         return ThreadBackend()
     if isinstance(backend, RuntimeBackend):
@@ -98,7 +109,7 @@ def resolve_backend(backend: str | RuntimeBackend | None) -> RuntimeBackend:
     if backend == "thread":
         return ThreadBackend()
     if backend == "process":
-        return ProcessBackend()
+        return ProcessBackend(pool=pool)
     raise ValueError(
         f"unknown runtime backend {backend!r}; expected one of {BACKEND_NAMES}"
     )
@@ -208,10 +219,29 @@ class _ProcessCollectiveEngine:
         self._result_sizes = ctx.Array("q", n_ranks, lock=False)
         self._error_name = ctx.Array("c", _NAME_LEN, lock=False)
         self._error_size = ctx.Value("q", 0, lock=False)
+        # Split-phase exchange: two metadata slot sets (double buffering) plus
+        # per-slot publish/consume sequence arrays, all coordinated through
+        # one Condition — the split-phase fast path never touches the global
+        # barrier, so a rank publishes its next superstep while peers are
+        # still reading the previous one.
+        self._x_cond = ctx.Condition()
+        self._x_abort = ctx.Value("b", 0, lock=False)
+        self._x_ops = [ctx.Array("c", n_ranks * _OP_LEN, lock=False) for _ in range(2)]
+        self._x_names = [ctx.Array("c", n_ranks * _NAME_LEN, lock=False) for _ in range(2)]
+        self._x_published = [ctx.Array("q", n_ranks, lock=False) for _ in range(2)]
+        self._x_consumed = [ctx.Array("q", n_ranks, lock=False) for _ in range(2)]
+        for slot in range(2):
+            for q in range(n_ranks):
+                self._x_published[slot][q] = -1
+                self._x_consumed[slot][q] = -1
         # Result segments created by this process when it was elected; they
         # are unlinked one collective later, after every consumer has read.
         self._owned_results: list[SharedMemory] = []
         self._owned_error: SharedMemory | None = None
+        # Exchange segments this rank published whose consumption is not yet
+        # proven (seq -> segment); reclaimed two supersteps later or at
+        # shutdown.
+        self._x_inflight: dict[int, SharedMemory] = {}
 
     # -- slot helpers --------------------------------------------------------
 
@@ -226,8 +256,94 @@ class _ProcessCollectiveEngine:
         return raw.rstrip(b"\0").decode("ascii")
 
     def abort(self) -> None:
-        """Break the barrier so ranks blocked in a collective terminate."""
+        """Break the barrier (and the split-phase handshake) so ranks blocked
+        in a collective terminate."""
         self.barrier.abort()
+        with self._x_cond:
+            self._x_abort.value = 1
+            self._x_cond.notify_all()
+
+    # -- split-phase exchange (see communicator.CollectiveEngine) -------------
+
+    def _x_wait(self, predicate) -> None:
+        """Wait under the exchange condition; abort/timeout -> BrokenBarrierError.
+
+        The wait is chunked (1 s slices) so a notify lost to process
+        scheduling can only delay, never wedge, the handshake.
+        """
+        deadline = time.monotonic() + _BARRIER_TIMEOUT
+        with self._x_cond:
+            while True:
+                if self._x_abort.value:
+                    raise threading.BrokenBarrierError
+                if predicate():
+                    return
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise threading.BrokenBarrierError
+                self._x_cond.wait(timeout=min(remaining, 1.0))
+
+    def exchange_start(self, rank: int, op_name: str, send: list,
+                       seq: int) -> Any:
+        """Publish superstep *seq*: write one exchange segment, mark published.
+
+        Blocks only until slot ``seq % 2`` is reusable (every rank consumed
+        superstep ``seq - 2``), at which point this rank's own ``seq - 2``
+        segment is also provably read by everyone and is reclaimed.  Two
+        segments per rank are therefore live at any moment — the double
+        buffer.
+        """
+        slot = seq % 2
+        blobs = [encode_payload(item) for item in send]
+        self._x_wait(
+            lambda: all(self._x_consumed[slot][q] >= seq - 2
+                        for q in range(self.n_ranks))
+        )
+        stale = self._x_inflight.pop(seq - 2, None)
+        if stale is not None:
+            self._destroy(stale)
+        shm, _payload_size = self._write_exchange_segment(blobs)
+        self._x_inflight[seq] = shm
+        self._put_str(self._x_ops[slot], rank, _OP_LEN, op_name[:_OP_LEN])
+        self._put_str(self._x_names[slot], rank, _NAME_LEN, shm.name)
+        with self._x_cond:
+            self._x_published[slot][rank] = seq
+            self._x_cond.notify_all()
+        # Keep only the self-addressed blob for the finish-side self
+        # delivery; the rest already lives in the shared-memory segment, and
+        # retaining the full encoded copy would double the per-superstep
+        # memory bound.
+        return (seq, blobs[rank])
+
+    def exchange_finish(self, rank: int, token: Any) -> list:
+        """Collect superstep *token*'s payloads once every rank has published."""
+        seq, own_blob = token
+        slot = seq % 2
+        self._x_wait(
+            lambda: all(self._x_published[slot][q] >= seq
+                        for q in range(self.n_ranks))
+        )
+        names = {self._get_str(self._x_ops[slot], q, _OP_LEN)
+                 for q in range(self.n_ranks)}
+        if len(names) != 1:
+            raise CollectiveMismatchError(
+                f"ranks disagree on split-phase collective: {sorted(names)}"
+            )
+        received: list = []
+        for src in range(self.n_ranks):
+            if src == rank:
+                received.append(decode_payload(own_blob))
+                continue
+            peer = _attach_shm(self._get_str(self._x_names[slot], src, _NAME_LEN))
+            try:
+                table = struct.unpack_from(f"<{self.n_ranks + 1}Q", peer.buf, 0)
+                received.append(decode_payload(peer.buf[table[rank] : table[rank + 1]]))
+            finally:
+                peer.close()
+        with self._x_cond:
+            self._x_consumed[slot][rank] = seq
+            self._x_cond.notify_all()
+        return received
 
     # -- protocol ------------------------------------------------------------
 
@@ -414,11 +530,48 @@ class _ProcessCollectiveEngine:
             self._owned_error = None
 
     def shutdown(self) -> None:
-        """Final cleanup at the end of a rank program."""
+        """Final cleanup at the end of a rank program (or of one pooled job).
+
+        The last two split-phase supersteps' segments are still in flight
+        here, and a fast rank can reach shutdown while a slow peer is still
+        reading them — so each is reclaimed only once every rank has marked
+        it consumed.  On an aborted run the wait short-circuits and the
+        segments are reclaimed unconditionally (the peers are aborting too,
+        and a leaked segment would outlive the process).
+        """
         self._release_owned()
+        for seq in sorted(self._x_inflight):
+            slot = seq % 2
+            try:
+                self._x_wait(
+                    lambda slot=slot, seq=seq: all(
+                        self._x_consumed[slot][q] >= seq
+                        for q in range(self.n_ranks)
+                    )
+                )
+            except threading.BrokenBarrierError:
+                pass
+            self._destroy(self._x_inflight[seq])
+        self._x_inflight.clear()
+
+    def reset_between_runs(self) -> None:
+        """Re-arm the split-phase exchange state for the next pooled run.
+
+        Called by the *parent* while every pooled rank is parked on the pool
+        barrier (so nothing races these writes).  Each run's communicators
+        restart their exchange sequence numbers at 0; without this reset the
+        previous run's publish/consume marks would satisfy the new run's
+        predicates early and let a rank read stale metadata.
+        """
+        for slot in range(2):
+            for q in range(self.n_ranks):
+                self._x_published[slot][q] = -1
+                self._x_consumed[slot][q] = -1
+        self._error_size.value = 0
+        self._x_abort.value = 0
 
 
-def _process_worker(
+def _run_rank_job(
     rank: int,
     n_ranks: int,
     engine: _ProcessCollectiveEngine,
@@ -429,7 +582,7 @@ def _process_worker(
     want_trace: bool,
     results_queue,
 ) -> None:
-    """Body of one rank process: run the program, ship back result + trace."""
+    """Run one rank program against *engine* and ship back result + trace."""
     trace = CommTrace(n_ranks) if want_trace else None
     comm = SimCommunicator(rank, n_ranks, engine, topology=topology, trace=trace)
     status, payload = "ok", None
@@ -455,6 +608,351 @@ def _process_worker(
     results_queue.put((rank, status, payload, snapshot))
 
 
+def _process_worker(
+    rank: int,
+    n_ranks: int,
+    engine: _ProcessCollectiveEngine,
+    fn: Callable[..., Any],
+    args: tuple[Any, ...],
+    kwargs: dict[str, Any],
+    topology: Topology | None,
+    want_trace: bool,
+    results_queue,
+) -> None:
+    """Body of one single-run rank process."""
+    _run_rank_job(rank, n_ranks, engine, fn, args, kwargs, topology,
+                  want_trace, results_queue)
+
+
+def _pooled_worker(
+    rank: int,
+    n_ranks: int,
+    engine: _ProcessCollectiveEngine,
+    park_barrier,
+    job_queue,
+    results_queue,
+) -> None:
+    """Body of one persistent pool rank: park on the barrier between runs.
+
+    The worker blocks on ``park_barrier`` until the parent releases it for
+    the next run (the parent is the barrier's extra party and only arrives
+    after depositing a job in every rank's queue), runs the job against the
+    pool's long-lived engine, reports, and parks again.  A ``None`` job is
+    the shutdown sentinel; a barrier abort while parked means the pool is
+    being torn down.
+    """
+    while True:
+        try:
+            park_barrier.wait()
+        except threading.BrokenBarrierError:
+            return
+        payload = job_queue.get()
+        if payload is None:
+            return
+        try:
+            # Jobs arrive pre-pickled (see _RankPool.run); unpickling can
+            # still fail receive-side, e.g. an fn defined in a __main__ the
+            # worker's fork predates.
+            job = pickle.loads(payload)
+        except BaseException as exc:  # noqa: BLE001
+            engine.abort()
+            results_queue.put((rank, "error", RuntimeError(
+                f"failed to decode pooled job: {type(exc).__name__}: {exc} "
+                "(pooled rank programs must be importable from the worker)"
+            ), None))
+            return  # the parent evicts this pool; do not park again
+        fn, args, kwargs, topology, want_trace = job
+        _run_rank_job(rank, n_ranks, engine, fn, args, kwargs, topology,
+                      want_trace, results_queue)
+
+
+def _drain_results(
+    workers: list,
+    results_queue,
+    engine: _ProcessCollectiveEngine,
+    n_ranks: int,
+) -> tuple[dict[int, tuple[str, Any, dict | None]], list[tuple[int, BaseException]]]:
+    """Collect one report per rank, converting silent worker deaths to failures.
+
+    Results are drained *before* joining: a worker only exits once its queue
+    feeder thread has flushed, so joining first could deadlock on large
+    results.  A worker that dies without reporting (segfault, kill) is
+    detected by its exit code after a short grace period.
+    """
+    reported: dict[int, tuple[str, Any, dict | None]] = {}
+    failures: list[tuple[int, BaseException]] = []
+    failed_ranks: set[int] = set()
+    dead_deadline: dict[int, float] = {}
+    while len(reported) + len(failures) < n_ranks:
+        try:
+            rank, status, payload, snapshot = results_queue.get(timeout=0.5)
+            reported[rank] = (status, payload, snapshot)
+        except queue_module.Empty:
+            now = time.monotonic()
+            for rank, proc in enumerate(workers):
+                if rank in reported or rank in failed_ranks:
+                    continue
+                if proc.exitcode is None:
+                    continue
+                if rank not in dead_deadline:
+                    dead_deadline[rank] = now + 5.0
+                elif now >= dead_deadline[rank]:
+                    engine.abort()  # wake peers blocked on the dead rank
+                    failed_ranks.add(rank)
+                    failures.append((rank, RuntimeError(
+                        f"rank process exited with code {proc.exitcode} "
+                        "without reporting a result"
+                    )))
+    return reported, failures
+
+
+def _assemble_results(
+    reported: dict[int, tuple[str, Any, dict | None]],
+    failures: list[tuple[int, BaseException]],
+    trace: CommTrace | None,
+    n_ranks: int,
+) -> list[Any]:
+    """Merge traces, order results, and raise on any rank failure."""
+    # Merge per-rank traces in rank order (deterministic phase order).
+    if trace is not None:
+        for rank in sorted(reported):
+            snapshot = reported[rank][2]
+            if snapshot is not None:
+                trace.merge_snapshot(snapshot)
+
+    results: list[Any] = [None] * n_ranks
+    broken_ranks: list[int] = []
+    for rank, (status, payload, _snapshot) in reported.items():
+        if status == "ok":
+            results[rank] = payload
+        elif status == "error":
+            failures.append((rank, payload))
+        else:  # "broken": normally a peer's failure is reported by that peer
+            broken_ranks.append(rank)
+
+    if failures:
+        failures.sort(key=lambda item: item[0])
+        rank, exc = failures[0]
+        raise RankFailedError(
+            f"rank {rank} failed with {type(exc).__name__}: {exc}"
+        ) from exc
+    if broken_ranks:
+        # Every broken barrier should trace back to an originating rank
+        # failure; if none was reported the barrier broke on its own —
+        # a timeout (a rank stalled past DIBELLA_BARRIER_TIMEOUT) or an
+        # external abort.  Never return partial [None] results as success.
+        raise RankFailedError(
+            f"ranks {sorted(broken_ranks)} aborted on a broken barrier with "
+            "no originating rank failure (collective timeout after "
+            f"{_BARRIER_TIMEOUT:.0f}s, or an external abort); "
+            "set DIBELLA_BARRIER_TIMEOUT to raise the limit"
+        )
+    return results
+
+
+def _ensure_resource_tracker() -> None:
+    # Start the resource tracker in the parent BEFORE forking so every
+    # rank shares it.  Attach-time auto-registrations then deduplicate
+    # into the one set the creator's unlink clears; with per-child
+    # trackers they would instead survive as spurious "leaked
+    # shared_memory" warnings at worker exit.
+    try:  # pragma: no cover - trivial plumbing
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+    except Exception:
+        pass
+
+
+class _RankPool:
+    """A persistent set of rank processes parked on a barrier between runs.
+
+    Forking P interpreters (and, under ``spawn``, re-importing numpy and the
+    pipeline) dominates small ``spmd_run`` invocations — exactly the pattern
+    of a bench sweep or repeated pipeline runs over one data set.  The pool
+    pays that cost once: its workers and its collective engine live across
+    runs, each worker blocking on ``park_barrier`` (the "parked" state) until
+    the parent deposits the next job.
+
+    Lifecycle:
+
+    * ``run`` resets the engine's split-phase exchange state (safe: every
+      worker is parked), enqueues one pickled job per rank, releases the
+      barrier, and drains results exactly like a one-shot run.
+    * Any rank failure (or silent worker death) marks the pool **broken**;
+      a broken pool is torn down and evicted from the registry, so the next
+      pooled run starts fresh — failed runs never leak a poisoned barrier
+      into later runs.
+    * ``shutdown`` delivers the ``None`` sentinel to every worker, releases
+      the barrier one last time, and joins; stuck workers are terminated.
+
+    Because jobs cross a queue, pooled rank programs and their arguments must
+    be picklable even under the ``fork`` start method.
+    """
+
+    def __init__(self, ctx, start_method: str, n_ranks: int):
+        _ensure_resource_tracker()
+        self.n_ranks = n_ranks
+        self.start_method = start_method
+        self.engine = _ProcessCollectiveEngine(ctx, n_ranks)
+        self.park_barrier = ctx.Barrier(n_ranks + 1)
+        # Buffered queues (not SimpleQueue): jobs are deposited while the
+        # workers are still parked, and a SimpleQueue.put of a job larger
+        # than the OS pipe buffer would block the parent before it ever
+        # reached the release barrier — a deadlock.  Queue's feeder thread
+        # drains asynchronously once the worker starts reading.
+        self.job_queues = [ctx.Queue() for _ in range(n_ranks)]
+        self.results_queue = ctx.Queue()
+        self.broken = False
+        self.runs_completed = 0
+        self.workers = [
+            ctx.Process(
+                target=_pooled_worker,
+                args=(rank, n_ranks, self.engine, self.park_barrier,
+                      self.job_queues[rank], self.results_queue),
+                name=f"spmd-pool-rank-{rank}",
+                daemon=True,
+            )
+            for rank in range(n_ranks)
+        ]
+        for proc in self.workers:
+            proc.start()
+
+    def run(self, fn, args, kwargs, topology, trace) -> list[Any]:
+        if self.broken:
+            raise RuntimeError("rank pool is broken; it should have been evicted")
+        # Pickle the job HERE, once: Queue.put pickles in a background feeder
+        # thread whose failure is only printed, never raised — an unpicklable
+        # job would otherwise strand the released workers in job_queue.get()
+        # forever.  This way the error surfaces in the caller while every
+        # worker is still safely parked (the pool stays usable).
+        try:
+            job = pickle.dumps((fn, args, kwargs, topology, trace is not None))
+        except Exception as exc:
+            raise TypeError(
+                f"pooled rank program is not picklable: {type(exc).__name__}: "
+                f"{exc} (pooled jobs cross a queue; run without pool=True for "
+                "unpicklable programs)"
+            ) from exc
+        # A worker that died while parked (OOM kill, crash) leaves the
+        # (n+1)-party barrier permanently short; detect it before waiting,
+        # and bound the wait so a death in the tiny check-to-wait window
+        # still surfaces instead of hanging.
+        dead = [rank for rank, proc in enumerate(self.workers)
+                if proc.exitcode is not None]
+        if not dead:
+            self.engine.reset_between_runs()
+            for job_queue in self.job_queues:
+                job_queue.put(job)
+            try:
+                self.park_barrier.wait(timeout=_BARRIER_TIMEOUT)
+            except threading.BrokenBarrierError:
+                dead = [rank for rank, proc in enumerate(self.workers)
+                        if proc.exitcode is not None]
+        if dead or self.park_barrier.broken:
+            self.broken = True
+            _evict_pool(self)
+            raise RankFailedError(
+                f"pooled rank processes {dead or '(unknown)'} died while "
+                "parked; the pool was torn down — the next pooled run starts "
+                "a fresh one"
+            )
+        reported, failures = _drain_results(
+            self.workers, self.results_queue, self.engine, self.n_ranks
+        )
+        try:
+            results = _assemble_results(reported, failures, trace, self.n_ranks)
+        except BaseException:
+            # The engine barrier (or a worker) is now in an unknown state;
+            # never reuse this pool.
+            self.broken = True
+            _evict_pool(self)
+            raise
+        self.runs_completed += 1
+        return results
+
+    def shutdown(self) -> None:
+        """Stop the workers and release every pool resource."""
+        alive = [proc for proc in self.workers if proc.is_alive()]
+        if alive and not self.broken:
+            for job_queue in self.job_queues:
+                job_queue.put(None)
+            try:
+                self.park_barrier.wait(timeout=5.0)
+            except Exception:  # workers wedged or already gone
+                for proc in alive:
+                    if proc.is_alive():
+                        proc.terminate()
+        elif alive:
+            # Broken pool (a rank failed, or a worker died while parked).
+            # Do NOT wake the survivors through the barrier/condition: with
+            # a dead process still registered as a waiter,
+            # multiprocessing.Condition.notify blocks forever waiting for
+            # its acknowledgement.  The survivors are parked (they hold no
+            # shared-memory segments between jobs), so stop them directly.
+            for proc in alive:
+                proc.terminate()
+        for proc in self.workers:
+            proc.join(timeout=5.0)
+        for proc in self.workers:
+            if proc.is_alive():  # pragma: no cover - last resort
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for job_queue in self.job_queues:
+            job_queue.close()
+            job_queue.join_thread()
+        self.results_queue.close()
+        self.results_queue.join_thread()
+
+
+#: Live pools keyed by (start_method, n_ranks); guarded by _POOLS_LOCK.
+_POOLS: dict[tuple[str, int], _RankPool] = {}
+_POOLS_LOCK = threading.Lock()
+
+
+def _acquire_pool(ctx, start_method: str, n_ranks: int) -> _RankPool:
+    with _POOLS_LOCK:
+        key = (start_method, n_ranks)
+        pool = _POOLS.get(key)
+        if pool is None or pool.broken:
+            if pool is not None:
+                pool.shutdown()
+            pool = _RankPool(ctx, start_method, n_ranks)
+            _POOLS[key] = pool
+        return pool
+
+
+def _evict_pool(pool: _RankPool) -> None:
+    with _POOLS_LOCK:
+        for key, candidate in list(_POOLS.items()):
+            if candidate is pool:
+                del _POOLS[key]
+    pool.shutdown()
+
+
+def active_rank_pools() -> int:
+    """Number of live rank pools (tests and diagnostics)."""
+    with _POOLS_LOCK:
+        return len(_POOLS)
+
+
+def shutdown_rank_pools() -> None:
+    """Tear down every persistent rank pool (parked workers exit cleanly).
+
+    Registered via ``atexit`` so pooled runs never leave orphan rank
+    processes behind; callers may also invoke it explicitly (benches between
+    sweeps, tests asserting a clean slate).
+    """
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.shutdown()
+
+
+atexit.register(shutdown_rank_pools)
+
+
 class ProcessBackend(RuntimeBackend):
     """Ranks are OS processes; collectives move typed buffers in shared memory.
 
@@ -465,30 +963,31 @@ class ProcessBackend(RuntimeBackend):
         available (rank programs and their arguments need not be picklable,
         and the read set is inherited copy-on-write); ``"spawn"`` works too
         but requires picklable ``fn``/args.
+    pool:
+        When True, ranks are acquired from the persistent :class:`_RankPool`
+        for this (start method, rank count) — processes park on a barrier
+        between runs instead of being re-forked, amortising startup across
+        runs.  Pooled jobs cross a queue, so ``fn`` and its arguments must be
+        picklable even under ``fork``.
     """
 
     name = "process"
 
-    def __init__(self, start_method: str | None = None):
+    def __init__(self, start_method: str | None = None, pool: bool = False):
         import multiprocessing as mp
 
         if start_method is None:
             start_method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
         self._ctx = mp.get_context(start_method)
         self.start_method = start_method
+        self.use_pool = pool
 
     def run(self, n_ranks, fn, args, kwargs, topology, trace):
-        # Start the resource tracker in the parent BEFORE forking so every
-        # rank shares it.  Attach-time auto-registrations then deduplicate
-        # into the one set the creator's unlink clears; with per-child
-        # trackers they would instead survive as spurious "leaked
-        # shared_memory" warnings at worker exit.
-        try:  # pragma: no cover - trivial plumbing
-            from multiprocessing import resource_tracker
+        if self.use_pool:
+            rank_pool = _acquire_pool(self._ctx, self.start_method, n_ranks)
+            return rank_pool.run(fn, args, kwargs, topology, trace)
 
-            resource_tracker.ensure_running()
-        except Exception:
-            pass
+        _ensure_resource_tracker()
         engine = _ProcessCollectiveEngine(self._ctx, n_ranks)
         results_queue = self._ctx.Queue()
         workers = [
@@ -502,74 +1001,8 @@ class ProcessBackend(RuntimeBackend):
         ]
         for proc in workers:
             proc.start()
-
-        # Drain results *before* joining: a worker only exits once its queue
-        # feeder thread has flushed, so joining first could deadlock on large
-        # results.  A worker that dies without reporting (segfault, kill)
-        # is detected by its exit code and converted into a rank failure.
-        reported: dict[int, tuple[str, Any, dict | None]] = {}
-        failures: list[tuple[int, BaseException]] = []
-        failed_ranks: set[int] = set()
-        dead_deadline: dict[int, float] = {}
-        while len(reported) + len(failures) < n_ranks:
-            try:
-                rank, status, payload, snapshot = results_queue.get(timeout=0.5)
-                reported[rank] = (status, payload, snapshot)
-            except queue_module.Empty:
-                # A worker that died without reporting (segfault, OOM kill)
-                # never sends a message; give its pipe a short grace period,
-                # then convert the death into a rank failure.
-                now = time.monotonic()
-                for rank, proc in enumerate(workers):
-                    if rank in reported or rank in failed_ranks:
-                        continue
-                    if proc.exitcode is None:
-                        continue
-                    if rank not in dead_deadline:
-                        dead_deadline[rank] = now + 5.0
-                    elif now >= dead_deadline[rank]:
-                        engine.abort()  # wake peers blocked on the dead rank
-                        failed_ranks.add(rank)
-                        failures.append((rank, RuntimeError(
-                            f"rank process exited with code {proc.exitcode} "
-                            "without reporting a result"
-                        )))
+        reported, failures = _drain_results(workers, results_queue, engine, n_ranks)
         for proc in workers:
             proc.join()
         results_queue.close()
-
-        # Merge per-rank traces in rank order (deterministic phase order).
-        if trace is not None:
-            for rank in sorted(reported):
-                snapshot = reported[rank][2]
-                if snapshot is not None:
-                    trace.merge_snapshot(snapshot)
-
-        results: list[Any] = [None] * n_ranks
-        broken_ranks: list[int] = []
-        for rank, (status, payload, _snapshot) in reported.items():
-            if status == "ok":
-                results[rank] = payload
-            elif status == "error":
-                failures.append((rank, payload))
-            else:  # "broken": normally a peer's failure is reported by that peer
-                broken_ranks.append(rank)
-
-        if failures:
-            failures.sort(key=lambda item: item[0])
-            rank, exc = failures[0]
-            raise RankFailedError(
-                f"rank {rank} failed with {type(exc).__name__}: {exc}"
-            ) from exc
-        if broken_ranks:
-            # Every broken barrier should trace back to an originating rank
-            # failure; if none was reported the barrier broke on its own —
-            # a timeout (a rank stalled past DIBELLA_BARRIER_TIMEOUT) or an
-            # external abort.  Never return partial [None] results as success.
-            raise RankFailedError(
-                f"ranks {sorted(broken_ranks)} aborted on a broken barrier with "
-                "no originating rank failure (collective timeout after "
-                f"{_BARRIER_TIMEOUT:.0f}s, or an external abort); "
-                "set DIBELLA_BARRIER_TIMEOUT to raise the limit"
-            )
-        return results
+        return _assemble_results(reported, failures, trace, n_ranks)

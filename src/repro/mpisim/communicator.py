@@ -27,7 +27,9 @@ single choke point at which to do byte accounting and mismatch detection.
 
 from __future__ import annotations
 
+import os
 import threading
+from dataclasses import dataclass
 from typing import Any, Callable, Protocol, Sequence
 
 import numpy as np
@@ -40,6 +42,10 @@ from repro.mpisim.tracing import CommTrace
 #: Combine function signature: per-rank contributions -> per-rank results.
 CombineFn = Callable[[list[Any]], list[Any]]
 
+#: How long a rank may wait in a split-phase exchange handshake before
+#: declaring the run wedged (same knob as the engine barrier timeout).
+_EXCHANGE_TIMEOUT = float(os.environ.get("DIBELLA_BARRIER_TIMEOUT", "600"))
+
 
 class CollectiveEngine(Protocol):
     """Transport protocol underneath :class:`SimCommunicator`.
@@ -48,6 +54,18 @@ class CollectiveEngine(Protocol):
     result is available; every rank of the execution must call it with the
     same ``op_name`` (engines detect mismatches and raise on every rank).
     ``abort`` wakes ranks blocked inside a collective when a peer fails.
+
+    Engines may additionally implement the *split-phase exchange* pair
+    ``exchange_start(rank, op_name, send, seq) -> token`` /
+    ``exchange_finish(rank, token) -> received`` — a publish/consume
+    handshake with **no global barrier on the fast path**: ``start`` waits
+    only until the double-buffered slot of ``seq`` is free for rewrite (all
+    ranks consumed superstep ``seq - 2``), publishes, and returns;
+    ``finish`` waits until every rank has published superstep ``seq`` and
+    reads.  The caller may compute (or even start superstep ``seq + 1``)
+    between the two calls — that compute overlaps the peers' publishes and
+    reads.  Engines without these methods fall back to the synchronous
+    ``execute`` path inside :meth:`SimCommunicator.alltoallv_start`.
     """
 
     n_ranks: int
@@ -56,6 +74,20 @@ class CollectiveEngine(Protocol):
                 combine: CombineFn) -> Any: ...
 
     def abort(self) -> None: ...
+
+
+@dataclass
+class ExchangeHandle:
+    """In-flight split-phase exchange returned by :meth:`SimCommunicator.alltoallv_start`.
+
+    ``token`` is engine-specific state; ``result`` is only populated on the
+    synchronous fallback path (engines without split-phase support), in which
+    case ``alltoallv_finish`` simply hands it back.
+    """
+
+    op_name: str
+    token: Any = None
+    result: list[Any] | None = None
 
 
 class _CollectiveState:
@@ -73,10 +105,67 @@ class _CollectiveState:
         self.contributions: list[Any] = [None] * n_ranks
         self.results: list[Any] = [None] * n_ranks
         self.error: BaseException | None = None
+        # Split-phase exchange state: two deposit slots (double buffering) and
+        # per-slot publish/consume sequence numbers guarded by one Condition —
+        # the exchange fast path never touches the global barrier.
+        self._x_cond = threading.Condition()
+        self._x_aborted = False
+        self._x_ops: list[list[str | None]] = [[None] * n_ranks, [None] * n_ranks]
+        self._x_contribs: list[list[Any]] = [[None] * n_ranks, [None] * n_ranks]
+        self._x_published = [[-1] * n_ranks, [-1] * n_ranks]
+        self._x_consumed = [[-1] * n_ranks, [-1] * n_ranks]
 
     def abort(self) -> None:
         """Break the barrier so ranks blocked in a collective terminate."""
         self.barrier.abort()
+        with self._x_cond:
+            self._x_aborted = True
+            self._x_cond.notify_all()
+
+    # -- split-phase exchange (see CollectiveEngine) --------------------------
+
+    def _x_wait(self, predicate: Callable[[], bool]) -> None:
+        """Wait under the exchange condition; abort/timeout -> BrokenBarrierError."""
+        with self._x_cond:
+            ok = self._x_cond.wait_for(
+                lambda: self._x_aborted or predicate(), timeout=_EXCHANGE_TIMEOUT
+            )
+            if self._x_aborted or not ok:
+                raise threading.BrokenBarrierError
+
+    def exchange_start(self, rank: int, op_name: str, send: list[Any],
+                       seq: int) -> Any:
+        """Publish this rank's superstep-*seq* contribution; no global barrier.
+
+        Blocks only until slot ``seq % 2`` is reusable — every rank has
+        consumed superstep ``seq - 2`` (trivially true for the first two
+        supersteps) — which is what bounds a rank to two live contributions.
+        """
+        slot = seq % 2
+        self._x_wait(lambda: all(c >= seq - 2 for c in self._x_consumed[slot]))
+        with self._x_cond:
+            self._x_ops[slot][rank] = op_name
+            self._x_contribs[slot][rank] = send
+            self._x_published[slot][rank] = seq
+            self._x_cond.notify_all()
+        return seq
+
+    def exchange_finish(self, rank: int, token: Any) -> list[Any]:
+        """Collect superstep *token*'s payloads once every rank has published."""
+        seq = token
+        slot = seq % 2
+        self._x_wait(lambda: all(p >= seq for p in self._x_published[slot]))
+        names = {self._x_ops[slot][q] for q in range(self.n_ranks)}
+        if len(names) != 1:
+            raise CollectiveMismatchError(
+                f"ranks disagree on split-phase collective: "
+                f"{sorted(str(n) for n in names)}"
+            )
+        received = [self._x_contribs[slot][src][rank] for src in range(self.n_ranks)]
+        with self._x_cond:
+            self._x_consumed[slot][rank] = seq
+            self._x_cond.notify_all()
+        return received
 
     def execute(self, rank: int, op_name: str, contribution: Any,
                 combine: CombineFn) -> Any:
@@ -144,6 +233,11 @@ class SimCommunicator:
                 f"topology has {self.topology.n_ranks} ranks but communicator has {size}"
             )
         self.trace = trace
+        # Split-phase exchange sequence number; SPMD discipline (all ranks
+        # issue the same collectives in the same order) keeps it identical
+        # across the ranks of a run, so it doubles as the engine's
+        # double-buffer slot selector.
+        self._xchg_seq = 0
 
     # -- phase labelling -------------------------------------------------------
 
@@ -246,13 +340,60 @@ class SimCommunicator:
             raise ValueError(f"alltoallv needs {self.size} payloads, got {len(send)}")
         return self._exchange("alltoallv", send)
 
+    # -- split-phase exchange ------------------------------------------------------
+
+    def alltoallv_start(self, send: Sequence[Any]) -> ExchangeHandle:
+        """Begin an ``alltoallv`` without blocking for the peers' reads.
+
+        Publishes this rank's per-destination payloads and returns an
+        :class:`ExchangeHandle`; the matching :meth:`alltoallv_finish`
+        collects the received payloads.  Between the two calls the rank may
+        compute — that compute overlaps the peers still publishing or reading
+        this superstep — and may even start the *next* exchange (the engines
+        double-buffer exactly two supersteps per rank).  Both calls must be
+        issued in the same order on every rank, like any collective.
+
+        Byte/call accounting is identical to :meth:`alltoallv`, so a streamed
+        exchange traces the same volumes and call counts whether or not it is
+        split-phase.
+        """
+        send = list(send)
+        if len(send) != self.size:
+            raise ValueError(f"alltoallv needs {self.size} payloads, got {len(send)}")
+        self._record_exchange(send)
+        start = getattr(self._engine, "exchange_start", None)
+        if start is None:
+            # Engine without split-phase support: degrade to the synchronous
+            # collective and hand the result through the handle.
+            result = self._collective("alltoallv", send, self._transpose_combine())
+            return ExchangeHandle(op_name="alltoallv", result=result)
+        seq = self._xchg_seq
+        self._xchg_seq += 1
+        token = start(self.rank, "alltoallv", send, seq)
+        return ExchangeHandle(op_name="alltoallv", token=token)
+
+    def alltoallv_finish(self, handle: ExchangeHandle) -> list[Any]:
+        """Complete a split-phase exchange; returns payloads in source-rank order."""
+        if handle.result is not None:
+            return handle.result
+        return self._engine.exchange_finish(self.rank, handle.token)
+
     # -- helpers ------------------------------------------------------------------
 
-    def _exchange(self, op_name: str, send: list[Any]) -> list[Any]:
-        # All exchange accounting lives here so that ``alltoall`` and
-        # ``alltoallv`` (and therefore every chunked superstep of a streamed
-        # exchange) count calls identically: one global-Alltoallv ordinal and
-        # one per-phase collective call per invocation.
+    def _transpose_combine(self) -> CombineFn:
+        def combine(contribs: list[Any]) -> list[Any]:
+            # contribs[src][dst] is the payload src sends to dst; transpose it.
+            return [[contribs[src][dst] for src in range(self.size)]
+                    for dst in range(self.size)]
+
+        return combine
+
+    def _record_exchange(self, send: list[Any]) -> None:
+        # All exchange accounting lives here so that ``alltoall``,
+        # ``alltoallv`` and the split-phase ``alltoallv_start`` (and therefore
+        # every chunked superstep of a streamed exchange) count calls
+        # identically: one global-Alltoallv ordinal and one per-phase
+        # collective call per invocation.
         if self.trace is not None:
             sizes = np.array([payload_nbytes(p) for p in send], dtype=np.int64)
             self.trace.record_send(self.rank, sizes)
@@ -260,12 +401,9 @@ class SimCommunicator:
                 self.trace.record_collective_call(self.trace.current_phase(0))
                 self.trace.record_alltoallv_call()
 
-        def combine(contribs: list[Any]) -> list[Any]:
-            # contribs[src][dst] is the payload src sends to dst; transpose it.
-            return [[contribs[src][dst] for src in range(self.size)]
-                    for dst in range(self.size)]
-
-        return self._collective(op_name, send, combine)
+    def _exchange(self, op_name: str, send: list[Any]) -> list[Any]:
+        self._record_exchange(send)
+        return self._collective(op_name, send, self._transpose_combine())
 
     def _check_root(self, root: int) -> None:
         if not (0 <= root < self.size):

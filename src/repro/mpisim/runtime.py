@@ -38,6 +38,7 @@ def spmd_run(
     topology: Topology | None = None,
     trace: CommTrace | None = None,
     backend: str | RuntimeBackend | None = None,
+    pool: bool = False,
     **kwargs: Any,
 ) -> list[Any]:
     """Run *fn* as an SPMD program over *n_ranks* simulated ranks.
@@ -61,6 +62,13 @@ def spmd_run(
     backend:
         ``"thread"`` (default), ``"process"``, or a ready-made
         :class:`RuntimeBackend` instance.
+    pool:
+        With ``backend="process"``, acquire the ranks from the persistent
+        rank pool (processes parked on a barrier between runs) instead of
+        forking fresh ones — amortises fork+import cost across repeated
+        runs.  Pooled jobs cross a queue, so ``fn`` and its arguments must
+        be picklable.  Ignored by the thread backend and by ready-made
+        backend instances (their own pooling setting wins).
 
     Returns
     -------
@@ -78,5 +86,5 @@ def spmd_run(
         raise ValueError(
             f"topology describes {topology.n_ranks} ranks but n_ranks={n_ranks}"
         )
-    runtime = resolve_backend(backend)
+    runtime = resolve_backend(backend, pool=pool)
     return runtime.run(n_ranks, fn, args, kwargs, topology, trace)

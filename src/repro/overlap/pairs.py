@@ -36,6 +36,14 @@ class PairBatch:
     rid_b`` is enforced at construction so the same pair never appears under
     two keys (and so owner heuristics that depend on the ordering, like
     ``"min"``, are well defined).
+
+    ``swapped`` optionally records, per pair, whether the normalisation
+    flipped the occurrence order (the pair was produced as ``(rid_b, rid_a)``
+    and swapped to satisfy ``rid_a < rid_b``).  Algorithm 1's odd/even owner
+    rule is defined on the *occurrence* order, so :func:`choose_owner` needs
+    this bit; it is a producer-side annotation only and never crosses the
+    wire (``to_matrix``/``from_matrix`` drop it — owner choice happens before
+    the exchange).
     """
 
     rid_a: np.ndarray
@@ -43,10 +51,13 @@ class PairBatch:
     pos_a: np.ndarray
     pos_b: np.ndarray
     same_strand: np.ndarray
+    swapped: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         sizes = {self.rid_a.size, self.rid_b.size, self.pos_a.size, self.pos_b.size,
                  self.same_strand.size}
+        if self.swapped is not None:
+            sizes.add(self.swapped.size)
         if len(sizes) != 1:
             raise ValueError("all PairBatch arrays must have the same length")
         if self.rid_a.size and not np.all(self.rid_a < self.rid_b):
@@ -81,16 +92,24 @@ class PairBatch:
 
     @classmethod
     def concatenate(cls, batches: list["PairBatch"]) -> "PairBatch":
-        """Concatenate several batches (empty batches are skipped)."""
+        """Concatenate several batches (empty batches are skipped).
+
+        The ``swapped`` annotation survives only when every non-empty batch
+        carries it; otherwise it is dropped (mixed provenance).
+        """
         non_empty = [b for b in batches if len(b)]
         if not non_empty:
             return cls.empty()
+        swapped = None
+        if all(b.swapped is not None for b in non_empty):
+            swapped = np.concatenate([b.swapped for b in non_empty])
         return cls(
             rid_a=np.concatenate([b.rid_a for b in non_empty]),
             rid_b=np.concatenate([b.rid_b for b in non_empty]),
             pos_a=np.concatenate([b.pos_a for b in non_empty]),
             pos_b=np.concatenate([b.pos_b for b in non_empty]),
             same_strand=np.concatenate([b.same_strand for b in non_empty]),
+            swapped=swapped,
         )
 
 
@@ -262,25 +281,34 @@ class OverlapTable:
 # Owner heuristics
 # ---------------------------------------------------------------------------
 
-def owner_heuristic_oddeven(rid_a: np.ndarray, rid_b: np.ndarray) -> np.ndarray:
+def owner_heuristic_oddeven(rid_first: np.ndarray, rid_second: np.ndarray) -> np.ndarray:
     """Algorithm 1's odd/even owner choice, vectorised.
 
+    ``rid_first``/``rid_second`` are the pair's read identifiers in
+    *occurrence order* — the order in which the two occurrences of the shared
+    k-mer were visited, **before** the ``rid_a < rid_b`` normalisation.
     Returns a boolean array: True where the task goes to the owner of
-    ``rid_a``, False where it goes to the owner of ``rid_b``.  The rule is
-    exactly the paper's:
+    ``rid_first``, False where it goes to the owner of ``rid_second``.  The
+    rule is exactly the paper's:
 
-    * ``rid_a`` even and ``rid_a > rid_b + 1`` → owner of ``rid_a``
-    * ``rid_a`` odd  and ``rid_a < rid_b + 1`` → owner of ``rid_a``
-    * otherwise → owner of ``rid_b``
+    * ``rid_first`` even and ``rid_first > rid_second + 1`` → owner of ``rid_first``
+    * ``rid_first`` odd  and ``rid_first < rid_second + 1`` → owner of ``rid_first``
+    * otherwise → owner of ``rid_second``
 
-    For uniformly distributed read identifiers this splits the tasks roughly
-    evenly between the two reads' owners, which — combined with the uniform
-    read partition — balances the number of alignment tasks per rank.
+    Evaluated on occurrence order both branches fire (an even first RID keeps
+    the task when it is the larger of the two, an odd first RID when it is
+    the smaller), so for uniformly distributed read identifiers the tasks
+    split roughly evenly between the two reads' owners — which, combined
+    with the uniform read partition, balances the alignment tasks per rank.
+    Evaluating it on the *normalised* order instead (``rid_first <
+    rid_second`` always) makes the even branch unsatisfiable and collapses
+    the rule to "parity of the smaller RID" — the degenerate behaviour this
+    signature change fixes.
     """
-    rid_a = np.asarray(rid_a, dtype=np.int64)
-    rid_b = np.asarray(rid_b, dtype=np.int64)
-    even = (rid_a % 2) == 0
-    return (even & (rid_a > rid_b + 1)) | (~even & (rid_a < rid_b + 1))
+    rid_first = np.asarray(rid_first, dtype=np.int64)
+    rid_second = np.asarray(rid_second, dtype=np.int64)
+    even = (rid_first % 2) == 0
+    return (even & (rid_first > rid_second + 1)) | (~even & (rid_first < rid_second + 1))
 
 
 def choose_owner(
@@ -288,6 +316,7 @@ def choose_owner(
     rid_b: np.ndarray,
     read_owner: np.ndarray,
     heuristic: str = "oddeven",
+    swapped: np.ndarray | None = None,
 ) -> np.ndarray:
     """Destination rank of each task under the named owner heuristic.
 
@@ -295,13 +324,27 @@ def choose_owner(
     Heuristics: ``"oddeven"`` (Algorithm 1, default), ``"min"`` (always the
     owner of the smaller RID) and ``"random"`` (hash of the pair) — the last
     two exist for the owner-heuristic ablation bench.
+
+    ``swapped`` is the :attr:`PairBatch.swapped` annotation: True where the
+    ``rid_a < rid_b`` normalisation flipped the pair's occurrence order.
+    Algorithm 1 is defined on occurrence order, so the odd/even heuristic
+    un-swaps before applying the rule; ``None`` means the inputs already are
+    in occurrence order (nothing was normalised).
     """
     rid_a = np.asarray(rid_a, dtype=np.int64)
     rid_b = np.asarray(rid_b, dtype=np.int64)
     read_owner = np.asarray(read_owner, dtype=np.int64)
     if heuristic == "oddeven":
-        use_a = owner_heuristic_oddeven(rid_a, rid_b)
-    elif heuristic == "min":
+        if swapped is None:
+            first, second = rid_a, rid_b
+        else:
+            swapped = np.asarray(swapped, dtype=bool)
+            first = np.where(swapped, rid_b, rid_a)
+            second = np.where(swapped, rid_a, rid_b)
+        use_first = owner_heuristic_oddeven(first, second)
+        chosen_rid = np.where(use_first, first, second)
+        return read_owner[chosen_rid]
+    if heuristic == "min":
         use_a = np.ones(rid_a.size, dtype=bool)
     elif heuristic == "random":
         pair_hash = mix64(rid_a.astype(np.uint64) * np.uint64(2654435761) ^ rid_b.astype(np.uint64))
@@ -422,7 +465,9 @@ def generate_pairs(
     pb = retained.positions[j_glob[distinct]]
     same = retained.strands[i_glob[distinct]] == retained.strands[j_glob[distinct]]
 
-    # Normalise so rid_a < rid_b (swap positions along with the rids).
+    # Normalise so rid_a < rid_b (swap positions along with the rids); the
+    # pre-normalisation occurrence order survives as the ``swapped`` bit so
+    # Algorithm 1's owner rule can be applied to the order it is defined on.
     swap = ra > rb
     ra_norm = np.where(swap, rb, ra)
     rb_norm = np.where(swap, ra, rb)
@@ -435,6 +480,7 @@ def generate_pairs(
         pos_a=pa_norm.astype(np.int64),
         pos_b=pb_norm.astype(np.int64),
         same_strand=same.astype(np.int64),
+        swapped=swap.astype(bool),
     )
 
 

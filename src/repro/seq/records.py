@@ -11,6 +11,7 @@ vertices").
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
@@ -122,6 +123,24 @@ class ReadSet:
     def names(self) -> list[str]:
         """Read names in RID order."""
         return [r.name for r in self._reads]
+
+    def fingerprint(self) -> str:
+        """Content digest of the set: names and sequences in RID order.
+
+        Used as the *generation tag* of the persistent rank pool's cross-run
+        read caches: two runs share cached reads only when their read sets
+        hash identically, so a pooled rank reused for a different data set
+        can never serve a stale sequence.  blake2b streams at memory
+        bandwidth, so this costs far less than one pipeline stage.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(str(len(self._reads)).encode("ascii"))
+        for read in self._reads:
+            digest.update(read.name.encode("utf-8", "surrogateescape"))
+            digest.update(b"\x00")
+            digest.update(read.sequence.encode("ascii"))
+            digest.update(b"\x01")
+        return digest.hexdigest()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

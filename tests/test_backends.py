@@ -8,13 +8,30 @@ distributed runtime is an implementation detail that must never change the
 answer.
 """
 
+import os
+import time
+
 import numpy as np
 import pytest
 
-from repro.mpisim.backend import ProcessBackend, ThreadBackend, resolve_backend
+from repro.mpisim.backend import (
+    ProcessBackend,
+    ThreadBackend,
+    active_rank_pools,
+    resolve_backend,
+    shutdown_rank_pools,
+)
 from repro.mpisim.errors import CollectiveMismatchError, RankFailedError
 from repro.mpisim.runtime import spmd_run
 from repro.mpisim.tracing import CommTrace
+
+
+def _shm_segments() -> list[str]:
+    """Names of live POSIX shared-memory segments (empty off-POSIX)."""
+    try:
+        return [f for f in os.listdir("/dev/shm") if f.startswith("psm_")]
+    except FileNotFoundError:  # pragma: no cover - non-POSIX-shm platform
+        return []
 
 
 class TestResolveBackend:
@@ -135,18 +152,179 @@ class TestProcessErrorHandling:
             spmd_run(2, program, backend="process")
 
     def test_no_shared_memory_leaked(self):
-        import os
-
         def program(comm):
             comm.alltoallv([np.arange(100, dtype=np.int64)] * comm.size)
             return comm.allreduce(1)
 
         spmd_run(3, program, backend="process")
-        try:
-            segments = [f for f in os.listdir("/dev/shm") if f.startswith("psm_")]
-        except FileNotFoundError:  # pragma: no cover - non-POSIX-shm platform
-            segments = []
-        assert segments == []
+        assert _shm_segments() == []
+
+
+def _split_phase_program(comm):
+    """Pipelined supersteps: start(i+1) is issued before finish(i)."""
+    n_steps = 4
+    sends = [
+        [np.arange(step + d + comm.rank * 7, dtype=np.int64)
+         for d in range(comm.size)]
+        for step in range(n_steps)
+    ]
+    received = []
+    handle = comm.alltoallv_start(sends[0])
+    for step in range(n_steps):
+        next_handle = (comm.alltoallv_start(sends[step + 1])
+                       if step + 1 < n_steps else None)
+        received.append([a.tolist() for a in comm.alltoallv_finish(handle)])
+        handle = next_handle
+    return received
+
+
+def _sync_phase_program(comm):
+    """The same exchanges as :func:`_split_phase_program`, bulk-synchronous."""
+    n_steps = 4
+    sends = [
+        [np.arange(step + d + comm.rank * 7, dtype=np.int64)
+         for d in range(comm.size)]
+        for step in range(n_steps)
+    ]
+    return [[a.tolist() for a in comm.alltoallv(s)] for s in sends]
+
+
+class TestSplitPhaseExchange:
+    """The double-buffered alltoallv_start/alltoallv_finish protocol."""
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_matches_synchronous_alltoallv(self, backend):
+        split = spmd_run(3, _split_phase_program, backend=backend)
+        sync = spmd_run(3, _sync_phase_program, backend=backend)
+        assert split == sync
+
+    def test_thread_process_identical(self):
+        assert (spmd_run(3, _split_phase_program, backend="thread")
+                == spmd_run(3, _split_phase_program, backend="process"))
+
+    def test_single_rank(self):
+        results = spmd_run(1, _split_phase_program, backend="process")
+        assert results == spmd_run(1, _sync_phase_program, backend="thread")
+
+    def test_no_shared_memory_leaked(self):
+        spmd_run(3, _split_phase_program, backend="process")
+        assert _shm_segments() == []
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_trace_identical_to_synchronous(self, backend):
+        split_trace, sync_trace = CommTrace(3), CommTrace(3)
+        spmd_run(3, _split_phase_program, trace=split_trace, backend=backend)
+        spmd_run(3, _sync_phase_program, trace=sync_trace, backend=backend)
+        assert split_trace.summary() == sync_trace.summary()
+        assert (split_trace.snapshot()["alltoallv_calls"]
+                == sync_trace.snapshot()["alltoallv_calls"])
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_peer_failure_unblocks_finish(self, backend):
+        def program(comm):
+            handle = comm.alltoallv_start([np.zeros(1, dtype=np.int64)] * comm.size)
+            if comm.rank == 1:
+                raise RuntimeError("boom mid-exchange")
+            comm.alltoallv_finish(handle)
+            # Rank 1 never publishes its remaining supersteps, so without the
+            # abort propagating through the handshake this would deadlock.
+            h2 = comm.alltoallv_start([np.zeros(1, dtype=np.int64)] * comm.size)
+            h3 = comm.alltoallv_start([np.zeros(1, dtype=np.int64)] * comm.size)
+            comm.alltoallv_finish(h2)
+            comm.alltoallv_finish(h3)
+
+        with pytest.raises(RankFailedError, match="rank 1"):
+            spmd_run(3, program, backend=backend)
+        if backend == "process":
+            assert _shm_segments() == []
+
+
+def _pool_pid_program(comm):
+    total = comm.allreduce(comm.rank + 1)
+    received = comm.alltoallv([np.full(3, comm.rank, dtype=np.int64)] * comm.size)
+    return (os.getpid(), total, [int(a[0]) for a in received])
+
+
+def _pool_failing_program(comm):
+    if comm.rank == 1:
+        raise RuntimeError("pooled boom")
+    comm.barrier()
+
+
+class TestRankPool:
+    """The persistent process-rank pool: reuse, eviction, clean shutdown."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_pools(self):
+        shutdown_rank_pools()
+        yield
+        shutdown_rank_pools()
+
+    def test_consecutive_runs_reuse_rank_processes(self):
+        first = spmd_run(3, _pool_pid_program, backend="process", pool=True)
+        second = spmd_run(3, _pool_pid_program, backend="process", pool=True)
+        assert [r[0] for r in first] == [r[0] for r in second]  # same PIDs
+        assert [r[1:] for r in first] == [r[1:] for r in second]
+        unpooled = spmd_run(3, _pool_pid_program, backend="process")
+        assert [r[1:] for r in first] == [r[1:] for r in unpooled]
+        assert active_rank_pools() == 1
+
+    def test_split_phase_works_across_pooled_runs(self):
+        # The engine's exchange sequence state must be re-armed between runs.
+        first = spmd_run(3, _split_phase_program, backend="process", pool=True)
+        second = spmd_run(3, _split_phase_program, backend="process", pool=True)
+        assert first == second
+
+    def test_failure_evicts_pool_and_next_run_recovers(self):
+        baseline = spmd_run(3, _pool_pid_program, backend="process", pool=True)
+        with pytest.raises(RankFailedError, match="pooled boom"):
+            spmd_run(3, _pool_failing_program, backend="process", pool=True)
+        assert active_rank_pools() == 0
+        recovered = spmd_run(3, _pool_pid_program, backend="process", pool=True)
+        assert [r[1:] for r in recovered] == [r[1:] for r in baseline]
+
+    def test_shutdown_leaves_no_orphans_or_segments(self):
+        import multiprocessing as mp
+
+        spmd_run(3, _pool_pid_program, backend="process", pool=True)
+        assert any(p.name.startswith("spmd-pool-rank-") for p in mp.active_children())
+        shutdown_rank_pools()
+        assert active_rank_pools() == 0
+        deadline = time.monotonic() + 10.0
+        while (any(p.name.startswith("spmd-pool-rank-") for p in mp.active_children())
+               and time.monotonic() < deadline):
+            time.sleep(0.05)
+        assert not any(p.name.startswith("spmd-pool-rank-")
+                       for p in mp.active_children())
+        assert _shm_segments() == []
+
+    def test_thread_backend_ignores_pool_flag(self):
+        assert spmd_run(2, _pool_pid_program, backend="thread", pool=True) \
+            == spmd_run(2, _pool_pid_program, backend="thread")
+        assert active_rank_pools() == 0
+
+    def test_unpicklable_job_raises_instead_of_hanging(self):
+        # Queue.put pickles in a feeder thread whose failure is silent; the
+        # pool must surface the pickling error in the caller (and stay
+        # usable) instead of stranding the workers.
+        with pytest.raises(TypeError, match="not picklable"):
+            spmd_run(2, lambda comm: comm.allreduce(1),
+                     backend="process", pool=True)
+        assert spmd_run(2, _pool_pid_program, backend="process", pool=True)[0][1] == 3
+
+    def test_dead_parked_worker_detected_not_hung(self):
+        from repro.mpisim.backend import _POOLS
+
+        baseline = spmd_run(3, _pool_pid_program, backend="process", pool=True)
+        pool = next(iter(_POOLS.values()))
+        victim = pool.workers[1]
+        victim.terminate()  # dies while parked
+        victim.join(timeout=10.0)
+        with pytest.raises(RankFailedError, match="died while parked"):
+            spmd_run(3, _pool_pid_program, backend="process", pool=True)
+        assert active_rank_pools() == 0
+        recovered = spmd_run(3, _pool_pid_program, backend="process", pool=True)
+        assert [r[1:] for r in recovered] == [r[1:] for r in baseline]
 
 
 class TestProcessTracing:
@@ -257,3 +435,135 @@ class TestPipelineParity:
         thread, _process = runs
         assert thread.counters["read_cache_misses"] > 0
         assert thread.counters["read_cache_hits"] > 0
+
+
+@pytest.mark.slow
+class TestPipelineParityMatrix:
+    """{thread, process} x {pool on/off} x {double-buffering on/off} must all
+    produce bit-identical scientific output."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_pool_state(self):
+        from repro.core.stages import reset_persistent_read_caches
+
+        shutdown_rank_pools()
+        reset_persistent_read_caches()
+        yield
+        shutdown_rank_pools()
+        reset_persistent_read_caches()
+
+    @pytest.fixture(scope="class")
+    def reference(self, micro_dataset, micro_config):
+        from repro.core.driver import run_dibella
+
+        config = (micro_config.with_backend("thread")
+                  .with_pool(False).with_double_buffer(False))
+        return run_dibella(micro_dataset.reads, config=config,
+                           n_nodes=1, ranks_per_node=3)
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("pool", [False, True])
+    @pytest.mark.parametrize("double_buffer", [False, True])
+    def test_matrix_bit_identical(self, micro_dataset, micro_config, reference,
+                                  backend, pool, double_buffer):
+        from repro.core.driver import run_dibella
+
+        config = (micro_config.with_backend(backend)
+                  .with_pool(pool).with_double_buffer(double_buffer))
+        result = run_dibella(micro_dataset.reads, config=config,
+                             n_nodes=1, ranks_per_node=3)
+        assert result.overlap_pairs() == reference.overlap_pairs()
+        table, ref_table = result.alignment_table(), reference.alignment_table()
+        for column in ref_table:
+            np.testing.assert_array_equal(table[column], ref_table[column])
+        for t_table, p_table in zip(result.overlap_tables(),
+                                    reference.overlap_tables()):
+            np.testing.assert_array_equal(t_table.rid_a, p_table.rid_a)
+            np.testing.assert_array_equal(t_table.rid_b, p_table.rid_b)
+            np.testing.assert_array_equal(t_table.seed_offsets, p_table.seed_offsets)
+        assert (result.trace.phase_traffic("overlap_exchange").total_bytes
+                == reference.trace.phase_traffic("overlap_exchange").total_bytes)
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_two_consecutive_pooled_runs(self, micro_dataset, micro_config, backend):
+        """Second pooled run: bit-identical science, nonzero cross-run cache hits."""
+        from repro.core.driver import run_dibella
+
+        config = micro_config.with_backend(backend).with_pool(True)
+        cold = run_dibella(micro_dataset.reads, config=config,
+                           n_nodes=1, ranks_per_node=3)
+        warm = run_dibella(micro_dataset.reads, config=config,
+                           n_nodes=1, ranks_per_node=3)
+        assert warm.overlap_pairs() == cold.overlap_pairs()
+        cold_table, warm_table = cold.alignment_table(), warm.alignment_table()
+        for column in cold_table:
+            np.testing.assert_array_equal(warm_table[column], cold_table[column])
+        # The cold run had nothing cached; the warm run re-used every read the
+        # cold run fetched, so it skipped all remote fetches.
+        assert cold.counters["read_cache_fetch_hits"] == 0
+        assert warm.counters["read_cache_fetch_hits"] > 0
+        assert warm.counters["remote_reads_fetched"] == 0
+        assert cold.counters["remote_reads_fetched"] > 0
+
+    def test_pooled_runs_do_not_serve_stale_reads(self, micro_dataset,
+                                                  small_dataset, micro_config):
+        """A reused rank must never hit a cache built from a different read set."""
+        from repro.core.driver import run_dibella
+
+        config = micro_config.with_backend("process").with_pool(True)
+        run_dibella(micro_dataset.reads, config=config, n_nodes=1, ranks_per_node=3)
+        other = run_dibella(small_dataset.reads, config=config,
+                            n_nodes=1, ranks_per_node=3)
+        fresh = run_dibella(small_dataset.reads,
+                            config=config.with_pool(False),
+                            n_nodes=1, ranks_per_node=3)
+        # Different dataset -> different generation tag -> cold caches.
+        assert other.counters["read_cache_fetch_hits"] == 0
+        assert other.overlap_pairs() == fresh.overlap_pairs()
+        other_table, fresh_table = other.alignment_table(), fresh.alignment_table()
+        for column in fresh_table:
+            np.testing.assert_array_equal(other_table[column], fresh_table[column])
+
+    def test_pool_shutdown_after_pipeline_leaves_nothing(self, micro_dataset,
+                                                         micro_config):
+        import multiprocessing as mp
+
+        from repro.core.driver import run_dibella
+
+        config = micro_config.with_backend("process").with_pool(True)
+        run_dibella(micro_dataset.reads, config=config, n_nodes=1, ranks_per_node=3)
+        shutdown_rank_pools()
+        deadline = time.monotonic() + 10.0
+        while (any(p.name.startswith("spmd-pool-rank-") for p in mp.active_children())
+               and time.monotonic() < deadline):
+            time.sleep(0.05)
+        assert not any(p.name.startswith("spmd-pool-rank-")
+                       for p in mp.active_children())
+        assert _shm_segments() == []
+
+    def test_double_buffer_records_overlapped_time_when_multichunk(
+            self, micro_dataset, micro_config):
+        """With >1 chunk per rank, the db path must attribute generation time
+        to the overlapped bucket and flag the chunks it overlapped."""
+        from dataclasses import replace
+
+        from repro.core.driver import run_dibella
+
+        tiny_chunks = replace(micro_config, exchange_chunk_mb=0.001)
+        db = run_dibella(micro_dataset.reads,
+                         config=tiny_chunks.with_double_buffer(True),
+                         n_nodes=1, ranks_per_node=2)
+        sync = run_dibella(micro_dataset.reads,
+                           config=tiny_chunks.with_double_buffer(False),
+                           n_nodes=1, ranks_per_node=2)
+        assert db.overlap_pairs() == sync.overlap_pairs()
+        assert db.counters["overlap_chunks_overlapped"] > 0
+        assert sync.counters["overlap_chunks_overlapped"] == 0
+        assert db.counters["overlap_exchange_double_buffered"] > 0
+        assert db.stage("overlap").wall_overlapped_seconds.sum() > 0.0
+        assert sync.stage("overlap").wall_overlapped_seconds.sum() == 0.0
+        # Counters other than the schedule flags are unaffected.
+        keys = set(db.counters) - {"overlap_exchange_double_buffered",
+                                   "overlap_chunks_overlapped"}
+        for key in keys:
+            assert db.counters[key] == sync.counters[key], key

@@ -167,14 +167,89 @@ class TestPairBatch:
 
 class TestOwnerHeuristics:
     def test_oddeven_matches_algorithm1(self):
-        # Exhaustively check the rule for a small RID range.
-        for ra in range(8):
-            for rb in range(8):
-                if ra == rb:
+        # Exhaustively check the rule on occurrence-ordered inputs.
+        for first in range(8):
+            for second in range(8):
+                if first == second:
                     continue
-                expected = (ra % 2 == 0 and ra > rb + 1) or (ra % 2 == 1 and ra < rb + 1)
-                got = owner_heuristic_oddeven(np.array([ra]), np.array([rb]))[0]
-                assert got == expected, (ra, rb)
+                expected = ((first % 2 == 0 and first > second + 1)
+                            or (first % 2 == 1 and first < second + 1))
+                got = owner_heuristic_oddeven(np.array([first]), np.array([second]))[0]
+                assert got == expected, (first, second)
+
+    def test_oddeven_both_branches_fire_on_occurrence_order(self):
+        # The even branch needs rid_first > rid_second + 1, which only
+        # happens on occurrence-ordered (pre-normalisation) pairs; on
+        # normalised input (first < second always) it is unsatisfiable.
+        rng = np.random.default_rng(11)
+        first = rng.integers(0, 1000, size=20_000)
+        second = rng.integers(0, 1000, size=20_000)
+        keep = first != second
+        first, second = first[keep], second[keep]
+        use_first = owner_heuristic_oddeven(first, second)
+        even = (first % 2) == 0
+        even_branch = use_first & even & (first > second + 1)
+        odd_branch = use_first & ~even & (first < second + 1)
+        assert even_branch.sum() > 0, "even branch never fired"
+        assert odd_branch.sum() > 0, "odd branch never fired"
+        # On normalised inputs the even branch is provably dead — the
+        # degenerate behaviour the occurrence-order evaluation fixes.
+        lo, hi = np.minimum(first, second), np.maximum(first, second)
+        normalised = owner_heuristic_oddeven(lo, hi)
+        assert not (normalised & ((lo % 2) == 0)).any()
+
+    def test_choose_owner_unswaps_before_applying_algorithm1(self):
+        # Pair occurred as (6, 3): 6 is even and 6 > 3 + 1, so Algorithm 1
+        # keeps the task on the owner of read 6.  The normalised batch stores
+        # it as rid_a=3, rid_b=6, swapped=True; without the swap bit the rule
+        # would see (3, 6) -> odd branch -> owner of read 3.
+        read_owner = np.arange(10, dtype=np.int64)
+        dest_swapped = choose_owner(np.array([3]), np.array([6]), read_owner,
+                                    heuristic="oddeven", swapped=np.array([True]))
+        assert dest_swapped[0] == 6
+        dest_plain = choose_owner(np.array([3]), np.array([6]), read_owner,
+                                  heuristic="oddeven", swapped=np.array([False]))
+        assert dest_plain[0] == 3
+
+    def test_generate_pairs_swapped_recovers_occurrence_order(self):
+        # k-mer 100 is seen in read 5 then read 2 (occurrence order), so the
+        # normalised pair (2, 5) must carry swapped=True; k-mer 200 is seen
+        # in read 1 then read 4 -> (1, 4) with swapped=False.
+        retained = make_retained({
+            100: [(5, 7, True), (2, 3, True)],
+            200: [(1, 9, True), (4, 11, True)],
+        })
+        batch = generate_pairs(retained)
+        by_pair = {(int(a), int(b)): bool(s) for a, b, s in
+                   zip(batch.rid_a, batch.rid_b, batch.swapped)}
+        assert by_pair == {(2, 5): True, (1, 4): False}
+
+    def test_choose_owner_balances_with_swapped_pairs(self):
+        # End-to-end distribution check on normalised batches with a random
+        # occurrence order: both Algorithm 1 branches fire and the per-rank
+        # task counts stay close to balanced (no worse than the degenerate
+        # smaller-RID-parity rule's 1.2 tolerance).
+        rng = np.random.default_rng(12)
+        n_reads, n_ranks = 1000, 8
+        read_owner = np.repeat(np.arange(n_ranks), n_reads // n_ranks)
+        first = rng.integers(0, n_reads, size=20_000)
+        second = rng.integers(0, n_reads, size=20_000)
+        keep = first != second
+        first, second = first[keep], second[keep]
+        swapped = first > second
+        rid_a, rid_b = np.minimum(first, second), np.maximum(first, second)
+        dest = choose_owner(rid_a, rid_b, read_owner, heuristic="oddeven",
+                            swapped=swapped)
+        counts = np.bincount(dest, minlength=n_ranks)
+        assert counts.max() / counts.mean() < 1.2
+        # Both branches are represented in the chosen destinations.
+        even_first_keep = (first % 2 == 0) & (first > second + 1)
+        odd_first_keep = (first % 2 == 1) & (first < second + 1)
+        np.testing.assert_array_equal(
+            dest[even_first_keep], read_owner[first[even_first_keep]])
+        np.testing.assert_array_equal(
+            dest[odd_first_keep], read_owner[first[odd_first_keep]])
+        assert even_first_keep.sum() > 0 and odd_first_keep.sum() > 0
 
     def test_choose_owner_maps_through_read_owner(self):
         read_owner = np.array([0, 0, 1, 1, 2, 2])

@@ -197,3 +197,42 @@ class TestConfigValidation:
         assert config.with_kernel("banded").kernel == "banded"
         strategy = SeedStrategy.separated_by(500)
         assert config.with_seed_strategy(strategy).seed_strategy == strategy
+        assert config.with_pool(True).pool is True
+        assert config.with_double_buffer(False).double_buffer is False
+
+
+class TestReadOwnerCoverage:
+    """An incomplete read partition must fail loudly, not route to garbage."""
+
+    def test_missing_reads_raise_descriptive_error(self, toy_reads):
+        from repro.core.stages import _build_read_owner
+
+        with pytest.raises(ValueError, match=r"does not cover 2 of 4 reads"):
+            _build_read_owner(toy_reads, [[0], [3]])
+
+    def test_error_names_missing_rids(self, toy_reads):
+        from repro.core.stages import _build_read_owner
+
+        with pytest.raises(ValueError, match=r"missing RIDs: 1, 2"):
+            _build_read_owner(toy_reads, [[0], [3]])
+
+    def test_full_cover_builds_owner_map(self, toy_reads):
+        from repro.core.stages import _build_read_owner
+
+        owner = _build_read_owner(toy_reads, [[0, 2], [1, 3]])
+        np.testing.assert_array_equal(owner, [0, 1, 0, 1])
+
+    def test_doubly_assigned_read_raises(self, toy_reads):
+        from repro.core.stages import _build_read_owner
+
+        with pytest.raises(ValueError, match="more than one rank"):
+            _build_read_owner(toy_reads, [[0, 1], [1, 2, 3]])
+
+    def test_pipeline_program_propagates_the_error(self, toy_reads, micro_config):
+        from repro.core.stages import run_rank_pipeline
+        from repro.mpisim.errors import RankFailedError
+        from repro.mpisim.runtime import spmd_run
+
+        with pytest.raises(RankFailedError, match="does not cover"):
+            spmd_run(1, run_rank_pipeline, toy_reads, [[0, 1, 2]],
+                     micro_config, 8)

@@ -26,6 +26,11 @@ cores.  Two measurements:
   collective calls on the slowest rank) must drop on hosts with enough
   cores; output is asserted bit-identical either way.
 
+* **Wire-packing gate** — the pipeline with the alignment-stage read blocks
+  shipped 2-bit packed vs ASCII.  Pure byte accounting (deterministic on any
+  host, always enforced): the packed read payload must be ≤ 0.3x the raw
+  bytes, with bit-identical scientific output.
+
 * **Pool-amortisation gate** — two consecutive pooled pipeline runs: the
   first pays pool creation (fork + queue setup) and cold read caches, the
   second must be faster (and fetch zero remote reads — its rank processes
@@ -257,7 +262,50 @@ def run_double_buffer_gate() -> dict[str, float]:
 
 
 # ---------------------------------------------------------------------------
-# Part 4: the pool-amortisation gate
+# Part 4: the wire-packing gate (alignment-exchange read-payload bytes)
+# ---------------------------------------------------------------------------
+
+#: Required ratio of packed to raw alignment-stage read-payload bytes.  The
+#: 2-bit codec stores 4 bases/byte with per-read byte-boundary padding, so
+#: realistic read lengths land at ~0.25x; 0.3x leaves headroom for the
+#: padding while still catching any regression to a byte-per-base format.
+MAX_PACKED_PAYLOAD_RATIO = 0.3
+
+
+def run_wire_packing_gate() -> dict[str, float]:
+    """Packed vs ASCII read exchange: identical science, >= ~3.3x fewer bytes.
+
+    Unlike the timing gates this one is pure byte accounting — deterministic
+    on any host — so it is always enforced.
+    """
+    reads = _pipeline_workload()
+    base = PipelineConfig(coverage_hint=30.0, error_rate_hint=0.10,
+                          kmer=KmerSpec(k=17))
+    packed = run_dibella(reads, config=base.with_wire_packing(True),
+                         n_nodes=1, ranks_per_node=RANKS)
+    ascii_ = run_dibella(reads, config=base.with_wire_packing(False),
+                         n_nodes=1, ranks_per_node=RANKS)
+    assert _alignment_tables_equal(packed, ascii_), \
+        "wire packing changed the scientific output"
+    raw_bytes = packed.counters["read_payload_raw_bytes"]
+    assert raw_bytes == ascii_.counters["read_payload_raw_bytes"], \
+        "packed and ASCII runs served different read payloads"
+    assert raw_bytes > 0, "wire-packing gate workload exchanged no reads"
+    return {
+        "packing_raw_payload_bytes": float(raw_bytes),
+        "packing_packed_payload_bytes": float(
+            packed.counters["read_payload_wire_bytes"]),
+        "packing_payload_ratio": (
+            packed.counters["read_payload_wire_bytes"] / raw_bytes),
+        "packing_exchange_bytes": float(
+            packed.trace.phase_traffic("alignment_exchange").total_bytes),
+        "ascii_exchange_bytes": float(
+            ascii_.trace.phase_traffic("alignment_exchange").total_bytes),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Part 5: the pool-amortisation gate
 # ---------------------------------------------------------------------------
 
 def run_pool_gate() -> dict[str, float]:
@@ -316,6 +364,7 @@ def run_bench() -> dict[str, float]:
     metrics.update(run_overlap_gate())
     metrics.update(run_pipeline_comparison())
     metrics.update(run_double_buffer_gate())
+    metrics.update(run_wire_packing_gate())
     metrics.update(run_pool_gate())
     return metrics
 
@@ -357,6 +406,13 @@ def format_report(metrics: dict[str, float]) -> str:
         f"{metrics['db_overlap_exposed_seconds'] * 1e3:.2f}ms "
         f"(ratio {metrics['db_exposed_ratio']:.2f}, gate < 1.0 "
         + ("enforced)" if gate_active else "not enforced on this host)"),
+        "wire-packing gate (alignment-stage read payload):",
+        f"  raw {metrics['packing_raw_payload_bytes'] / 1e3:.1f} kB -> packed "
+        f"{metrics['packing_packed_payload_bytes'] / 1e3:.1f} kB "
+        f"(ratio {metrics['packing_payload_ratio']:.3f}, gate <= "
+        f"{MAX_PACKED_PAYLOAD_RATIO:.2f} always enforced); "
+        f"alignment-exchange trace {metrics['ascii_exchange_bytes'] / 1e3:.1f} kB -> "
+        f"{metrics['packing_exchange_bytes'] / 1e3:.1f} kB",
         f"pool-amortisation gate (process backend, {metrics['ranks']:.0f} ranks):",
         f"  cold {metrics['pool_cold_seconds']:.3f}s -> warm "
         f"{metrics['pool_warm_seconds']:.3f}s "
@@ -382,6 +438,12 @@ if __name__ == "__main__":
             f"FAIL: double buffering did not lower the exposed overlap-exchange "
             f"time (ratio {bench_metrics['db_exposed_ratio']:.2f} >= 1.0) on a "
             f"{bench_metrics['cores']:.0f}-core host"
+        )
+    if bench_metrics["packing_payload_ratio"] > MAX_PACKED_PAYLOAD_RATIO:
+        sys.exit(
+            f"FAIL: packed alignment read payload is "
+            f"{bench_metrics['packing_payload_ratio']:.3f}x the raw bytes "
+            f"(gate <= {MAX_PACKED_PAYLOAD_RATIO:.2f})"
         )
     if gate_enforced and bench_metrics["pool_amortization"] <= 1.0:
         sys.exit(

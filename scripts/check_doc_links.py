@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Dead-link checker for the repo's Markdown documentation.
+
+Scans ``README.md`` and every ``docs/*.md`` for Markdown links whose target
+is a *relative path* (external ``http(s)``/``mailto`` links and pure
+``#anchor`` references are skipped) and verifies the target file exists
+relative to the file containing the link.  Exits nonzero listing every dead
+link — the CI step that keeps the cross-linked docs
+(``README.md`` ↔ ``docs/architecture.md`` ↔ ``docs/wire-format.md`` ↔
+``docs/runtime.md``) from silently rotting as files move.
+
+Usage: ``python scripts/check_doc_links.py`` (from anywhere; paths resolve
+against the repo root).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Markdown inline links: [text](target) — target captured without title.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Targets that are not relative file paths.
+_EXTERNAL = re.compile(r"^(?:[a-z][a-z0-9+.-]*:|#)", re.IGNORECASE)
+
+
+def doc_files(root: Path) -> list[Path]:
+    """The Markdown files the checker covers."""
+    files = []
+    readme = root / "README.md"
+    if readme.exists():
+        files.append(readme)
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return files
+
+
+def dead_links(path: Path) -> list[tuple[int, str]]:
+    """(line number, target) of every relative link in *path* that 404s."""
+    missing = []
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if _EXTERNAL.match(target):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            if not (path.parent / relative).exists():
+                missing.append((lineno, target))
+    return missing
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    files = doc_files(root)
+    if not files:
+        print("check_doc_links: no Markdown files found", file=sys.stderr)
+        return 1
+    failures = 0
+    checked = 0
+    for path in files:
+        for lineno, target in dead_links(path):
+            print(f"{path.relative_to(root)}:{lineno}: dead link -> {target}",
+                  file=sys.stderr)
+            failures += 1
+        checked += 1
+    if failures:
+        print(f"check_doc_links: {failures} dead link(s) across {checked} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"check_doc_links: OK ({checked} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -306,9 +306,13 @@ def batched_xdrop_align(
         return []
 
     cache = cache if cache is not None else ReadCache()
-    for rid in {task.rid_a for task in tasks} | {task.rid_b for task in tasks}:
-        # put() refreshes (and drops stale encodings) if the mapping changed.
-        cache.put(rid, sequences[rid])
+    if getattr(sequences, "cache", None) is not cache:
+        for rid in {task.rid_a for task in tasks} | {task.rid_b for task in tasks}:
+            # put() refreshes (and drops stale encodings) if the mapping changed.
+            cache.put(rid, sequences[rid])
+    # else: *sequences* is this cache's own lazy view — the entries are
+    # already present, and re-putting would force the ASCII decode of every
+    # read that arrived 2-bit packed.
 
     fwd_a: list[np.ndarray] = []
     fwd_b: list[np.ndarray] = []

@@ -7,6 +7,10 @@ and its encoded buffer are worth caching per rank:
 
 * ``put``/``get_sequence`` hold fetched (or local) sequences keyed by RID, so
   a RID already cached is never re-requested from its owner rank;
+* ``put_packed`` inserts a read straight off the 2-bit packed wire format
+  (see :mod:`repro.seq.packing`) **without** materialising its ASCII string —
+  the packed buffer is unpacked into a code array on first use and the
+  string is only ever decoded if a consumer explicitly asks for it;
 * ``encoded``/``encoded_rc`` memoise the uint8 code arrays (forward and
   reverse-complement), so repeated tasks against the same read reuse one
   buffer instead of re-encoding per task.
@@ -19,24 +23,52 @@ present.  The pipeline surfaces all three in the run's counters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator, Mapping
 
 import numpy as np
 
-from repro.seq.encoding import encode_sequence
+from repro.seq.encoding import decode_sequence, encode_sequence
+from repro.seq.packing import unpack_codes
 
 __all__ = ["ReadCache"]
 
 
 @dataclass
 class _Entry:
-    sequence: str
+    """One cached read: at least one of ``sequence``/``codes``/``packed`` set.
+
+    ``sequence`` may be ``None`` for reads that arrived 2-bit packed and were
+    never needed as text; ``packed`` holds the undecoded wire bytes until the
+    first encoded-buffer access unpacks (and then drops) them.
+    """
+
+    sequence: str | None = None
     codes: np.ndarray | None = None
     codes_rc: np.ndarray | None = None
+    packed: np.ndarray | None = None
+    length: int = -1
+
+    def n_bases(self) -> int:
+        if self.sequence is not None:
+            return len(self.sequence)
+        if self.codes is not None:
+            return int(self.codes.size)
+        return self.length
 
 
 @dataclass
 class ReadCache:
-    """RID-keyed cache of sequences and encoded buffers with hit accounting."""
+    """RID-keyed cache of sequences and encoded buffers with hit accounting.
+
+    Attributes
+    ----------
+    hits / misses:
+        Encoded-buffer lookups served from (respectively computed into) the
+        cache — the per-task hot path of the x-drop kernel.
+    fetch_hits:
+        Remote fetches avoided because :meth:`missing` found the sequence
+        already cached (nonzero across pooled runs over the same read set).
+    """
 
     _entries: dict[int, _Entry] = field(default_factory=dict)
     hits: int = 0
@@ -52,14 +84,54 @@ class ReadCache:
     # -- sequence level ------------------------------------------------------
 
     def put(self, rid: int, sequence: str) -> None:
-        """Insert (or refresh) the sequence of *rid*."""
+        """Insert (or refresh) the sequence of *rid*.
+
+        A changed sequence drops the stale entry (and its encodings); a
+        matching one is a no-op, so repeated puts keep the memoised buffers.
+        An entry that arrived packed and matches *sequence* simply gains the
+        memoised string.
+        """
         entry = self._entries.get(rid)
-        if entry is None or entry.sequence != sequence:
-            self._entries[int(rid)] = _Entry(sequence)
+        if entry is None:
+            self._entries[int(rid)] = _Entry(sequence=sequence)
+            return
+        if entry.sequence is None:
+            # Packed entry: compare in code space (cheaper than decoding and
+            # avoids materialising a throwaway string on mismatch).
+            if (entry.n_bases() == len(sequence)
+                    and np.array_equal(self._codes_of(entry), encode_sequence(sequence))):
+                entry.sequence = sequence
+            else:
+                self._entries[int(rid)] = _Entry(sequence=sequence)
+        elif entry.sequence != sequence:
+            self._entries[int(rid)] = _Entry(sequence=sequence)
+
+    def put_packed(self, rid: int, packed: np.ndarray, length: int) -> None:
+        """Insert *rid* straight off the 2-bit packed wire format.
+
+        Parameters
+        ----------
+        packed:
+            The read's packed bytes (a :meth:`PackedReadBlock.packed_slice`).
+            Kept as-is; unpacked lazily on the first encoded-buffer access.
+        length:
+            The read's base count (trailing pad bits are not data).
+
+        An already-cached RID is left untouched — read sequences are
+        immutable within a data-set generation, so the existing entry (and
+        its memoised encodings) wins.
+        """
+        if rid in self._entries:
+            return
+        self._entries[int(rid)] = _Entry(packed=np.asarray(packed, dtype=np.uint8),
+                                         length=int(length))
 
     def get_sequence(self, rid: int) -> str:
-        """The cached sequence of *rid* (KeyError if absent)."""
-        return self._entries[rid].sequence
+        """The cached sequence of *rid*, decoding lazily (KeyError if absent)."""
+        entry = self._entries[rid]
+        if entry.sequence is None:
+            entry.sequence = decode_sequence(self._codes_of(entry))
+        return entry.sequence
 
     def missing(self, rids: np.ndarray) -> np.ndarray:
         """The subset of *rids* not yet cached (the reads still to fetch).
@@ -76,17 +148,52 @@ class ReadCache:
         return rids[~present]
 
     def sequences(self) -> dict[int, str]:
-        """RID → sequence view over everything cached (for the aligner)."""
-        return {rid: entry.sequence for rid, entry in self._entries.items()}
+        """RID → sequence dict over everything cached.
+
+        Forces the lazy decode of every packed entry; the pipeline uses
+        :meth:`sequence_view` instead so fetched reads whose ASCII form is
+        never needed are never decoded.
+        """
+        return {rid: self.get_sequence(rid) for rid in self._entries}
+
+    def sequence_view(self) -> "_SequenceView":
+        """A read-only RID → sequence mapping that decodes lazily per access."""
+        return _SequenceView(self)
+
+    def total_bases(self) -> int:
+        """Total bases cached, computed without decoding packed entries."""
+        return sum(entry.n_bases() for entry in self._entries.values())
+
+    def bases_cached(self, rids: np.ndarray) -> int:
+        """Total bases of the given cached RIDs (absent RIDs contribute 0).
+
+        Computed without decoding packed entries; used by the pipeline's
+        memory accounting to measure exactly the reads a task set touches,
+        independent of whatever else (served reads, previous pooled runs)
+        the cache happens to hold.
+        """
+        return sum(entry.n_bases()
+                   for rid in np.asarray(rids, dtype=np.int64).tolist()
+                   if (entry := self._entries.get(rid)) is not None)
 
     # -- encoded level -------------------------------------------------------
 
+    def _codes_of(self, entry: _Entry) -> np.ndarray:
+        """The entry's forward code array, unpacking/encoding it on first use."""
+        if entry.codes is None:
+            if entry.packed is not None:
+                entry.codes = unpack_codes(entry.packed, entry.length)
+                entry.packed = None  # the codes supersede the wire bytes
+            else:
+                entry.codes = encode_sequence(entry.sequence)
+        return entry.codes
+
     def encoded(self, rid: int) -> np.ndarray:
-        """The 2-bit code array of *rid*, encoded at most once."""
+        """The 2-bit code array of *rid*, encoded (or unpacked) at most once."""
         entry = self._entries[rid]
         if entry.codes is None:
             self.misses += 1
-            entry.codes = encode_sequence(entry.sequence)
+            self._codes_of(entry)
         else:
             self.hits += 1
         return entry.codes
@@ -108,10 +215,7 @@ class ReadCache:
 
     def encoded_peek(self, rid: int) -> np.ndarray:
         """Forward encoding without touching the hit/miss counters."""
-        entry = self._entries[rid]
-        if entry.codes is None:
-            entry.codes = encode_sequence(entry.sequence)
-        return entry.codes
+        return self._codes_of(self._entries[rid])
 
     # -- reporting -----------------------------------------------------------
 
@@ -122,3 +226,33 @@ class ReadCache:
             "read_cache_misses": self.misses,
             "read_cache_fetch_hits": self.fetch_hits,
         }
+
+
+class _SequenceView(Mapping[int, str]):
+    """Lazy RID → sequence mapping over a :class:`ReadCache`.
+
+    Handed to the :class:`~repro.align.batch.BatchAligner` in place of a
+    materialised dict: the x-drop hot path consumes the memoised 2-bit
+    buffers directly, so a read fetched in packed form is only decoded to
+    ASCII if a string-consuming kernel (banded/full) actually subscripts it.
+    """
+
+    __slots__ = ("cache",)
+
+    def __init__(self, cache: ReadCache):
+        self.cache = cache
+
+    def __getitem__(self, rid: int) -> str:
+        try:
+            return self.cache.get_sequence(rid)
+        except KeyError:
+            raise KeyError(rid) from None
+
+    def __len__(self) -> int:
+        return len(self.cache)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.cache._entries)
+
+    def __contains__(self, rid: object) -> bool:
+        return rid in self.cache._entries

@@ -93,6 +93,15 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="disable double buffering of the overlap exchange "
                           "(bulk-synchronous supersteps; output is bit-identical "
                           "either way)")
+    run.add_argument("--no-wire-packing", action="store_true",
+                     help="ship alignment-stage read blocks as ASCII instead of "
+                          "2-bit packed (4 bases/byte); output is bit-identical "
+                          "either way (DIBELLA_WIRE_PACKING=0 has the same effect)")
+    run.add_argument("--hash-shards", type=int, default=None,
+                     help="number of k-mer code-range shards the retained-k-mer "
+                          "table is built in; >1 streams the hash-table/overlap "
+                          "boundary one shard at a time, bounding peak table "
+                          "memory (default honours DIBELLA_HASH_SHARDS, else 4)")
     run.add_argument("--overlaps-out", help="write detected overlaps to this TSV file")
 
     ex = sub.add_parser("experiment", help="regenerate a paper table/figure")
@@ -137,6 +146,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     if args.no_double_buffer:
         config = config.with_double_buffer(False)
+    if args.no_wire_packing:
+        config = config.with_wire_packing(False)
+    if args.hash_shards is not None:
+        config = config.with_hash_table_shards(args.hash_shards)
     result = run_dibella(reads, config=config, n_nodes=args.nodes,
                          ranks_per_node=args.ranks_per_node, backend=args.backend,
                          pool=args.pool)

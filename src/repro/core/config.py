@@ -90,6 +90,22 @@ class PipelineConfig:
         output is bit-identical either way; the default honours
         ``DIBELLA_DOUBLE_BUFFER`` (set to ``0`` to force the
         bulk-synchronous schedule).
+    wire_packing:
+        Ship the alignment-stage read blocks 2-bit packed (4 bases/byte, see
+        :mod:`repro.seq.packing` and ``docs/wire-format.md``) instead of
+        ASCII — roughly a 4x cut of that phase's exchange volume.  Scientific
+        output is bit-identical either way; the trace counters
+        ``read_payload_raw_bytes`` / ``read_payload_wire_bytes`` record the
+        saving.  The default honours ``DIBELLA_WIRE_PACKING`` (set to ``0``
+        to force the ASCII wire format; CLI ``--no-wire-packing``).
+    hash_table_shards:
+        Number of k-mer code-range shards the retained-k-mer table is built
+        in.  With ``S > 1`` the hash-table/overlap boundary streams one
+        contiguous code range at a time through finalise → pair generation →
+        release, so peak retained-table memory drops to roughly the largest
+        shard instead of the whole partition (counter
+        ``retained_table_peak_bytes``).  Output is bit-identical for every
+        shard count.  The default honours ``DIBELLA_HASH_SHARDS``.
     pool:
         Run the SPMD program on the persistent rank pool: with the process
         backend, rank processes park on a barrier between ``spmd_run``
@@ -124,6 +140,12 @@ class PipelineConfig:
     double_buffer: bool = field(
         default_factory=lambda: _env_flag("DIBELLA_DOUBLE_BUFFER", True)
     )
+    wire_packing: bool = field(
+        default_factory=lambda: _env_flag("DIBELLA_WIRE_PACKING", True)
+    )
+    hash_table_shards: int = field(
+        default_factory=lambda: int(os.environ.get("DIBELLA_HASH_SHARDS", "4"))
+    )
     pool: bool = field(default_factory=lambda: _env_flag("DIBELLA_POOL", False))
 
     def __post_init__(self) -> None:
@@ -147,6 +169,8 @@ class PipelineConfig:
             raise ValueError(f"unknown runtime backend {self.backend!r}")
         if self.exchange_chunk_mb is not None and self.exchange_chunk_mb <= 0:
             raise ValueError("exchange_chunk_mb must be positive (or None to disable)")
+        if self.hash_table_shards < 1:
+            raise ValueError("hash_table_shards must be >= 1")
 
     # -- derived parameters ---------------------------------------------------
 
@@ -168,6 +192,14 @@ class PipelineConfig:
     def with_double_buffer(self, double_buffer: bool) -> "PipelineConfig":
         """Copy of this config with overlap-exchange double buffering on or off."""
         return replace(self, double_buffer=double_buffer)
+
+    def with_wire_packing(self, wire_packing: bool) -> "PipelineConfig":
+        """Copy of this config with 2-bit read-block wire packing on or off."""
+        return replace(self, wire_packing=wire_packing)
+
+    def with_hash_table_shards(self, hash_table_shards: int) -> "PipelineConfig":
+        """Copy of this config building the k-mer table in *hash_table_shards* code ranges."""
+        return replace(self, hash_table_shards=hash_table_shards)
 
     def resolve_high_freq_threshold(self, readset: ReadSet | None = None) -> int:
         """The high-occurrence cutoff m actually used for a run.

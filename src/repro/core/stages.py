@@ -29,7 +29,11 @@ from repro.core.config import PipelineConfig
 from repro.core.result import RankReport
 from repro.kmers.bloom import BloomFilter
 from repro.kmers.hashing import owner_of
-from repro.kmers.hashtable import KmerHashTablePartition, RetainedKmers
+from repro.kmers.hashtable import (
+    KmerHashTablePartition,
+    RetainedKmers,
+    shard_code_boundaries,
+)
 from repro.kmers.hyperloglog import HyperLogLog
 from repro.mpisim.collectives import bucket_by_destination
 from repro.mpisim.communicator import SimCommunicator
@@ -42,6 +46,7 @@ from repro.overlap.pairs import (
 )
 from repro.overlap.seeds import select_seeds_batched
 from repro.seq.kmer import extract_kmers_batch
+from repro.seq.packing import PackedReadBlock, pack_read_block
 from repro.seq.records import ReadSet
 
 
@@ -98,7 +103,7 @@ class _RankState:
     read_owner: np.ndarray
     high_freq_threshold: int
     hashtable: KmerHashTablePartition = field(default_factory=KmerHashTablePartition)
-    retained: RetainedKmers | None = None
+    hashtable_built: bool = False
     overlaps: OverlapTable = field(default_factory=OverlapTable.empty)
     tasks: TaskBatch = field(default_factory=TaskBatch.empty)
     read_cache: ReadCache = field(default_factory=ReadCache)
@@ -236,6 +241,14 @@ def bloom_filter_stage(comm: SimCommunicator, state: _RankState) -> None:
     holds the rank's k-mer codes for the duration of the stage — 8 bytes per
     instance, the same order of memory the monolithic exchange would have
     needed for one batch's send buffers per superstep anyway.)
+
+    Parameters
+    ----------
+    comm:
+        This rank's communicator (phase label ``"bloom_exchange"``).
+    state:
+        The rank's mutable pipeline state; on return ``state.hashtable``
+        holds the deduplicated candidate keys.
     """
     config = state.config
     timer = state.timer("bloom")
@@ -311,6 +324,26 @@ def hash_table_stage(comm: SimCommunicator, state: _RankState) -> None:
     Occurrences are stored only for k-mers already registered as keys; the
     finalisation then removes false-positive singletons and k-mers above the
     high-frequency threshold m, leaving the retained k-mers (§7).
+
+    The finalisation itself — grouping the buffered occurrences into the
+    retained table — is *deferred*: it runs one k-mer **code-range shard**
+    at a time (``config.hash_table_shards`` contiguous ranges of the code
+    space), interleaved with the overlap stage's pair generation, so the
+    grouped table for shard ``s`` is built, consumed and released before
+    shard ``s+1`` exists.  Peak retained-table memory is therefore bounded
+    by the largest shard (counter ``retained_table_peak_bytes``) instead of
+    the whole partition.  The build time still lands in this stage's
+    ``compute`` timer, and the retained-k-mer counters are unchanged —
+    sharding is a schedule change, not a semantic one.
+
+    Parameters
+    ----------
+    comm:
+        This rank's communicator (phase label ``"hashtable_exchange"``).
+    state:
+        The rank's mutable pipeline state; on return ``state.hashtable``
+        holds the buffered occurrences ready for the sharded finalise and
+        ``state.hashtable_built`` is set.
     """
     config = state.config
     timer = state.timer("hashtable")
@@ -360,17 +393,11 @@ def hash_table_stage(comm: SimCommunicator, state: _RankState) -> None:
                     ((meta >> np.uint64(31)) & np.uint64(1)).astype(bool),
                 )
 
-    with timer.compute():
-        state.retained = state.hashtable.finalize(
-            min_count=config.min_kmer_count, max_count=state.high_freq_threshold
-        )
-
+    state.hashtable_built = True
     state.work["hashtable"] = float(occurrences_received)
     state.local_bytes["hashtable"] = float(state.hashtable.memory_nbytes())
     state.counters["kmers_received_hashtable"] = occurrences_received
     state.counters["occurrences_stored"] = occurrences_stored
-    state.counters["retained_kmers"] = state.retained.n_kmers
-    state.counters["retained_occurrences"] = state.retained.n_occurrences
 
 
 # ---------------------------------------------------------------------------
@@ -380,15 +407,25 @@ def hash_table_stage(comm: SimCommunicator, state: _RankState) -> None:
 def overlap_stage(comm: SimCommunicator, state: _RankState) -> None:
     """Stage 3: form all read pairs per retained k-mer and route them to owners.
 
-    The pair exchange streams in *bounded chunked supersteps* like the k-mer
-    stages: the retained k-mers are split into ranges whose pair expansion
-    fits the ``exchange_chunk_mb`` wire budget (:func:`pair_chunk_ranges`),
-    and each superstep generates, packs and ships only one chunk — so the
-    in-flight send buffers stay bounded regardless of how many pairs the
-    partition produces in total.  Every rank runs the same number of
-    supersteps (the global maximum), padding with empty exchanges; each
-    superstep is a full ``alltoallv`` and is traced per chunk, so the cost
-    model sees the same total volume plus the true call count.
+    The retained table is consumed one **code-range shard** at a time
+    (``config.hash_table_shards`` contiguous slices of the k-mer code
+    space): each shard is finalised from the buffered stage-2 occurrences,
+    its pairs are generated and exchanged, and the shard is released before
+    the next one is built — so at most one shard's grouped table is live per
+    rank.  Shards partition the code space, so the concatenated pair stream
+    (and therefore the consolidated overlap table) is bit-identical to the
+    unsharded build.
+
+    Within a shard the pair exchange streams in *bounded chunked supersteps*
+    like the k-mer stages: the shard's retained k-mers are split into ranges
+    whose pair expansion fits the ``exchange_chunk_mb`` wire budget
+    (:func:`pair_chunk_ranges`), and each superstep generates, packs and
+    ships only one chunk — so the in-flight send buffers stay bounded
+    regardless of how many pairs the partition produces in total.  Every
+    rank runs the same number of supersteps per shard (the global maximum),
+    padding with empty exchanges; each superstep is a full ``alltoallv`` and
+    is traced per chunk, so the cost model sees the same total volume plus
+    the true call count.
 
     With ``config.double_buffer`` (the default) the supersteps are
     **double-buffered**: chunk ``i``'s exchange is split into
@@ -403,19 +440,30 @@ def overlap_stage(comm: SimCommunicator, state: _RankState) -> None:
     """
     config = state.config
     timer = state.timer("overlap")
+    ht_timer = state.timer("hashtable")
     comm.set_phase("overlap_exchange")
-    assert state.retained is not None, "hash_table_stage must run before overlap_stage"
+    assert state.hashtable_built, "hash_table_stage must run before overlap_stage"
 
-    with timer.compute():
-        chunks = pair_chunk_ranges(state.retained, config.exchange_chunk_bytes)
-    n_supersteps = _global_batch_count(comm, len(chunks))
+    n_shards = config.hash_table_shards
+    shard_iter = state.hashtable.finalize_shards(
+        shard_code_boundaries(config.kmer.k, n_shards),
+        min_count=config.min_kmer_count, max_count=state.high_freq_threshold,
+    )
 
     pairs_generated = 0
+    retained_kmers = 0
+    retained_occurrences = 0
+    retained_local_peak = 0
+    total_chunks = 0
+    total_supersteps = 0
+    chunks_overlapped = 0
+    received_batches: list[PairBatch] = []
 
-    def make_send(step: int) -> tuple[list[np.ndarray], int]:
-        """Expand chunk *step* into per-destination send buffers."""
+    def make_send(retained: RetainedKmers, chunks: list[tuple[int, int]],
+                  step: int) -> tuple[list[np.ndarray], int]:
+        """Expand chunk *step* of one shard into per-destination send buffers."""
         if step < len(chunks):
-            pairs = generate_pairs(state.retained, kmer_range=chunks[step])
+            pairs = generate_pairs(retained, kmer_range=chunks[step])
         else:
             pairs = PairBatch.empty()
         if len(pairs):
@@ -428,44 +476,64 @@ def overlap_stage(comm: SimCommunicator, state: _RankState) -> None:
             send = [np.empty((0, 5), dtype=np.int64) for _ in range(comm.size)]
         return send, len(pairs)
 
-    use_double_buffer = bool(config.double_buffer) and n_supersteps > 0
-    chunks_overlapped = 0
-    received_batches: list[PairBatch] = []
-    if use_double_buffer:
+    for _shard in range(n_shards):
+        # Build this shard's slice of the retained table (hash-table stage
+        # work, so the build lands in that stage's compute timer), stream its
+        # pairs, then release it before the next shard is built — the
+        # build → pair-generation → release pipeline that bounds peak table
+        # memory at one shard.
+        with ht_timer.compute():
+            retained = next(shard_iter)
+            retained_kmers += retained.n_kmers
+            retained_occurrences += retained.n_occurrences
+            retained_local_peak = max(
+                retained_local_peak,
+                retained.rids.nbytes + retained.positions.nbytes,
+            )
         with timer.compute():
-            send, n_pairs = make_send(0)
-            pairs_generated += n_pairs
-        with timer.exchange():
-            handle = comm.alltoallv_start(send)
-        for step in range(n_supersteps):
-            next_handle = None
-            if step + 1 < n_supersteps:
-                # Generate — and publish — chunk step+1 while the peers are
-                # still reading chunk step's segments.
-                with timer.overlapped():
-                    next_send, n_pairs = make_send(step + 1)
-                    pairs_generated += n_pairs
-                    chunks_overlapped += 1
-                with timer.exchange():
-                    next_handle = comm.alltoallv_start(next_send)
-            with timer.exchange():
-                received = comm.alltoallv_finish(handle)
+            chunks = pair_chunk_ranges(retained, config.exchange_chunk_bytes)
+        n_supersteps = _global_batch_count(comm, len(chunks))
+        total_chunks += len(chunks)
+        total_supersteps += n_supersteps
+
+        if bool(config.double_buffer) and n_supersteps > 0:
             with timer.compute():
-                received_batches.extend(
-                    PairBatch.from_matrix(np.asarray(c)) for c in received
-                )
-            handle = next_handle
-    else:
-        for step in range(n_supersteps):
-            with timer.compute():
-                send, n_pairs = make_send(step)
+                send, n_pairs = make_send(retained, chunks, 0)
                 pairs_generated += n_pairs
             with timer.exchange():
-                received = comm.alltoallv(send)
-            with timer.compute():
-                received_batches.extend(
-                    PairBatch.from_matrix(np.asarray(c)) for c in received
-                )
+                handle = comm.alltoallv_start(send)
+            for step in range(n_supersteps):
+                next_handle = None
+                if step + 1 < n_supersteps:
+                    # Generate — and publish — chunk step+1 while the peers
+                    # are still reading chunk step's segments.
+                    with timer.overlapped():
+                        next_send, n_pairs = make_send(retained, chunks, step + 1)
+                        pairs_generated += n_pairs
+                        chunks_overlapped += 1
+                    with timer.exchange():
+                        next_handle = comm.alltoallv_start(next_send)
+                with timer.exchange():
+                    received = comm.alltoallv_finish(handle)
+                with timer.compute():
+                    received_batches.extend(
+                        PairBatch.from_matrix(np.asarray(c)) for c in received
+                    )
+                handle = next_handle
+        else:
+            for step in range(n_supersteps):
+                with timer.compute():
+                    send, n_pairs = make_send(retained, chunks, step)
+                    pairs_generated += n_pairs
+                with timer.exchange():
+                    received = comm.alltoallv(send)
+                with timer.compute():
+                    received_batches.extend(
+                        PairBatch.from_matrix(np.asarray(c)) for c in received
+                    )
+        retained = None  # release the shard before building the next one
+
+    use_double_buffer = bool(config.double_buffer) and total_supersteps > 0
 
     with timer.compute():
         incoming = PairBatch.concatenate(received_batches)
@@ -483,17 +551,19 @@ def overlap_stage(comm: SimCommunicator, state: _RankState) -> None:
             same_strand=table.seed_same_strand[selected],
         )
 
-    state.work["overlap"] = float(state.retained.n_occurrences + pairs_generated)
-    state.local_bytes["overlap"] = float(
-        state.retained.rids.nbytes + state.retained.positions.nbytes
-        + 32 * pairs_generated
-    )
+    state.work["overlap"] = float(retained_occurrences + pairs_generated)
+    state.local_bytes["overlap"] = float(retained_local_peak + 32 * pairs_generated)
+    state.counters["retained_kmers"] = retained_kmers
+    state.counters["retained_occurrences"] = retained_occurrences
+    state.counters["hash_table_shards"] = n_shards
+    state.counters["retained_table_peak_bytes"] = state.hashtable.retained_peak_nbytes
     state.counters["pairs_generated"] = pairs_generated
     state.counters["overlap_pairs"] = len(state.overlaps)
     state.counters["alignment_tasks"] = len(state.tasks)
-    state.counters["overlap_exchange_chunks"] = len(chunks)
-    # Both are functions of the config and the chunk count only, so they stay
-    # bit-identical across runtime backends (the counter-parity invariant).
+    state.counters["overlap_exchange_chunks"] = total_chunks
+    # All of these are functions of the config and the chunk/shard layout
+    # only, so they stay bit-identical across runtime backends (the
+    # counter-parity invariant).
     state.counters["overlap_exchange_double_buffered"] = int(use_double_buffer)
     state.counters["overlap_chunks_overlapped"] = chunks_overlapped
 
@@ -502,23 +572,80 @@ def overlap_stage(comm: SimCommunicator, state: _RankState) -> None:
 # Stage 4: read exchange and pairwise alignment (§9)
 # ---------------------------------------------------------------------------
 
-def _pack_read_block(rids: np.ndarray, readset: ReadSet) -> tuple[np.ndarray, np.ndarray, bytes]:
-    """Pack read sequences as one typed block: (RIDs, offsets, ASCII bytes).
+def _build_read_block(
+    rids: np.ndarray, readset: ReadSet, cache: ReadCache, wire_packing: bool
+) -> PackedReadBlock | tuple[np.ndarray, np.ndarray, bytes]:
+    """Serve the requested reads as one typed wire block.
 
-    The wire format of the alignment-stage read exchange — flat arrays
-    instead of per-read Python tuples, so the payload crosses the typed
-    collectives protocol (and a real network) as three buffers.
+    Parameters
+    ----------
+    rids:
+        The RIDs a peer requested (all local to this rank).
+    readset:
+        The rank's read set (the source of truth for sequences).
+    cache:
+        The rank's read cache.  On the packed path the served reads are
+        routed through it so their 2-bit encodings are computed at most once
+        — repeated serves (and pooled reruns) pack straight from the
+        memoised buffers.
+    wire_packing:
+        True → a :class:`~repro.seq.packing.PackedReadBlock` (2 bits/base,
+        lengths in the typed header); False → the ASCII block
+        ``(rids, offsets, bytes)``.
+
+    Both layouts are flat typed buffers, so the payload crosses the typed
+    collectives protocol (and a real network) without per-read envelopes;
+    see ``docs/wire-format.md``.
     """
     rids = np.asarray(rids, dtype=np.int64)
+    if wire_packing:
+        # Put-if-absent: served reads are this rank's own immutable local
+        # reads, so an existing entry is always current.  The stored string
+        # is a reference to the readset's resident sequence; the memoised
+        # code array (1 byte/base) is the buffer repeat serves reuse.
+        code_arrays = []
+        for rid in rids.tolist():
+            if rid not in cache:
+                cache.put(rid, readset[rid].sequence)
+            code_arrays.append(cache.encoded_peek(rid))
+        return pack_read_block(rids, code_arrays)
     sequences = [readset[int(rid)].sequence for rid in rids]
     lengths = np.fromiter((len(s) for s in sequences), dtype=np.int64, count=len(sequences))
     offsets = np.concatenate(([0], np.cumsum(lengths))).astype(np.int64)
     return rids, offsets, "".join(sequences).encode("ascii")
 
 
-def _unpack_read_block(block: tuple[np.ndarray, np.ndarray, bytes],
-                       cache: ReadCache) -> int:
-    """Insert a packed read block into the per-rank read cache."""
+def _read_block_payload_bytes(
+    block: PackedReadBlock | tuple[np.ndarray, np.ndarray, bytes],
+) -> tuple[int, int]:
+    """(ASCII-equivalent bytes, actual wire payload bytes) of one read block.
+
+    The sequence payload only — headers (RIDs, offsets/lengths) are excluded
+    from both numbers, so the pair isolates exactly what the 2-bit packing
+    compresses.
+    """
+    if isinstance(block, PackedReadBlock):
+        return block.raw_nbytes, int(block.packed.nbytes)
+    _rids, _offsets, blob = block
+    return len(blob), len(blob)
+
+
+def _unpack_read_block(
+    block: PackedReadBlock | tuple[np.ndarray, np.ndarray, bytes],
+    cache: ReadCache,
+) -> int:
+    """Insert a received read block into the per-rank read cache.
+
+    Packed blocks are inserted **without decoding**: each read's packed
+    bytes land in the cache as-is (:meth:`ReadCache.put_packed`) and are
+    unpacked to a 2-bit code array only when the aligner first touches the
+    read — the ASCII string is never materialised unless a string-consuming
+    kernel asks for it.
+    """
+    if isinstance(block, PackedReadBlock):
+        for index, rid in enumerate(block.rids.tolist()):
+            cache.put_packed(rid, block.packed_slice(index), int(block.lengths[index]))
+        return block.n_reads
     rids, offsets, blob = block
     text = bytes(blob).decode("ascii")
     rids = np.asarray(rids, dtype=np.int64)
@@ -531,11 +658,36 @@ def _unpack_read_block(block: tuple[np.ndarray, np.ndarray, bytes],
 def alignment_stage(comm: SimCommunicator, state: _RankState) -> BatchAligner:
     """Stage 4: fetch non-local reads, then align every task locally.
 
+    The read fetch is a two-round exchange: RIDs are requested from their
+    owner ranks, and the owners serve the sequences back as typed wire
+    blocks.  With ``config.wire_packing`` (the default) the served blocks
+    are **2-bit packed** (4 bases/byte, :class:`PackedReadBlock`) — cutting
+    the phase's dominant payload ~4x — and the receive side inserts the
+    packed bytes into the cache *without decoding*; the ASCII fallback
+    (``--no-wire-packing`` / ``DIBELLA_WIRE_PACKING=0``) ships
+    ``(rids, offsets, bytes)`` exactly as before.  Both layouts are specified
+    in ``docs/wire-format.md``; the counters ``read_payload_raw_bytes`` /
+    ``read_payload_wire_bytes`` record the saving.
+
     Fetched sequences land in the rank's :class:`ReadCache`, which also
     memoises the 2-bit encodings the x-drop kernel consumes — repeated tasks
     against the same read reuse one buffer, and reads already cached are
-    never re-requested from their owner.  The cache's hit/miss counters are
-    surfaced in the run result.
+    never re-requested from their owner.  The serve side routes the packed
+    blocks through the same cache, so a read served twice (or re-served by a
+    pooled rank) packs from its memoised encoding.  The cache's hit/miss
+    counters are surfaced in the run result.
+
+    Parameters
+    ----------
+    comm:
+        This rank's communicator (phase label ``"alignment_exchange"``).
+    state:
+        The rank's mutable pipeline state (tasks from the overlap stage).
+
+    Returns
+    -------
+    BatchAligner
+        The executor that ran the tasks, with its work counters populated.
     """
     config = state.config
     timer = state.timer("alignment")
@@ -564,12 +716,20 @@ def alignment_stage(comm: SimCommunicator, state: _RankState) -> BatchAligner:
 
     with timer.compute():
         # Serve requested read sequences back to each requesting rank as
-        # typed (RIDs, offsets, bytes) blocks.
+        # typed blocks: 2-bit packed (config.wire_packing, the default) or
+        # ASCII (rids, offsets, bytes).
         responses = [
-            _pack_read_block(np.asarray(incoming_requests[src], dtype=np.int64),
-                             state.readset)
+            _build_read_block(np.asarray(incoming_requests[src], dtype=np.int64),
+                              state.readset, state.read_cache,
+                              config.wire_packing)
             for src in range(comm.size)
         ]
+        read_payload_raw = 0
+        read_payload_wire = 0
+        for block in responses:
+            raw, wire = _read_block_payload_bytes(block)
+            read_payload_raw += raw
+            read_payload_wire += wire
 
     with timer.exchange():
         incoming_reads = comm.alltoallv(responses)
@@ -578,7 +738,7 @@ def alignment_stage(comm: SimCommunicator, state: _RankState) -> BatchAligner:
         for block in incoming_reads:
             _unpack_read_block(block, state.read_cache)
 
-        sequences = state.read_cache.sequences()
+        sequences = state.read_cache.sequence_view()
         aligner = BatchAligner(
             sequences=sequences,
             kernel=config.kernel,
@@ -597,11 +757,21 @@ def alignment_stage(comm: SimCommunicator, state: _RankState) -> BatchAligner:
         accepted = scores >= config.min_alignment_score
 
     state.work["alignment"] = float(aligner.stats.cells)
-    state.local_bytes["alignment"] = float(sum(len(s) for s in sequences.values()))
+    # Bytes of the reads this rank's tasks actually touch — deliberately not
+    # the whole cache, which may also hold reads memoised while *serving*
+    # peers on the packed path (and, under the pool, previous runs' reads):
+    # the cost-model input must not depend on the wire encoding.
+    state.local_bytes["alignment"] = float(state.read_cache.bases_cached(needed))
     state.counters["alignments"] = aligner.stats.alignments
     state.counters["accepted_alignments"] = aligner.stats.accepted
     state.counters["dp_cells"] = aligner.stats.cells
     state.counters["remote_reads_fetched"] = int(to_fetch.size)
+    # Packed-vs-raw accounting of the served read payloads: ``raw`` is the
+    # ASCII-equivalent byte count (one byte per base), ``wire`` what actually
+    # crossed the exchange — ~raw/4 with packing on, equal with it off.
+    state.counters["read_payload_raw_bytes"] = read_payload_raw
+    state.counters["read_payload_wire_bytes"] = read_payload_wire
+    state.counters["alignment_wire_packing"] = int(config.wire_packing)
     state.counters.update({
         name: value - cache_counter_base.get(name, 0)
         for name, value in state.read_cache.counters().items()
@@ -631,10 +801,35 @@ def run_rank_pipeline(
 ) -> RankReport:
     """Execute all four stages on one rank and return its report.
 
-    ``cache_tag`` (set by the pipeline when the rank pool is enabled) keys
-    this rank's read cache into the persistent registry, so a pooled worker
-    reused for another run over the *same* read set starts with the reads it
-    already fetched; a different tag evicts the stale generation first.
+    This is the SPMD program every simulated rank runs — the body an MPI
+    implementation would execute on every process (see
+    ``docs/architecture.md`` for the stage-by-stage map).
+
+    Parameters
+    ----------
+    comm:
+        This rank's :class:`~repro.mpisim.communicator.SimCommunicator`.
+    readset:
+        The full read set (every rank holds it; each rank parses only its
+        assigned RIDs, mirroring the paper's parallel file read).
+    assignments:
+        Per-rank RID lists from :func:`repro.io.partition.partition_reads`;
+        must cover every read exactly once.
+    config:
+        The run's :class:`~repro.core.config.PipelineConfig`.
+    high_freq_threshold:
+        The resolved high-occurrence cutoff m (already broadcast-identical
+        across ranks).
+    cache_tag:
+        Set by the pipeline when the rank pool is enabled: keys this rank's
+        read cache into the persistent registry, so a pooled worker reused
+        for another run over the *same* read set starts with the reads it
+        already fetched; a different tag evicts the stale generation first.
+
+    Returns
+    -------
+    RankReport
+        The rank's counters, timers, overlaps and accepted alignments.
     """
     read_owner = _build_read_owner(readset, assignments)
 

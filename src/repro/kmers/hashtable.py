@@ -18,13 +18,55 @@ pipeline exactly:
 The implementation is array-based rather than a Python dict: occurrences are
 buffered as flat numpy arrays and grouped once at finalisation with a single
 sort, which keeps the per-k-mer Python overhead out of the hot path.
+
+Finalisation comes in two flavours: :meth:`KmerHashTablePartition.finalize`
+groups the whole partition at once, and
+:meth:`KmerHashTablePartition.finalize_shards` streams the partition one
+**k-mer code range** at a time (boundaries from
+:func:`shard_code_boundaries`), releasing each shard's buffers as it goes —
+so peak table memory is bounded by the largest shard rather than the whole
+partition, and the overlap stage can generate and exchange a shard's pairs
+while later shards are still unbuilt.  Because shards are contiguous,
+ascending code ranges and grouping is independent per code, concatenating
+the shard results reproduces the monolithic finalise bit for bit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
+
+
+def shard_code_boundaries(k: int, n_shards: int) -> np.ndarray:
+    """Interior split points dividing the k-mer code space into *n_shards* ranges.
+
+    Parameters
+    ----------
+    k:
+        k-mer length; codes live in ``[0, 4**k)``.
+    n_shards:
+        Number of contiguous code ranges wanted (``>= 1``).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n_shards - 1,)`` ascending ``uint64`` boundaries; shard ``s``
+        covers ``[boundary[s-1], boundary[s])`` (with the implicit outer
+        bounds 0 and ``4**k``).  Shard membership of a code array is
+        ``np.searchsorted(boundaries, codes, side="right")``.
+
+    Notes
+    -----
+    The boundaries are a pure function of ``(k, n_shards)`` — every rank
+    (and every backend) derives identical shards without communicating.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    code_space = 4 ** k
+    return np.array([(s * code_space) // n_shards for s in range(1, n_shards)],
+                    dtype=np.uint64)
 
 
 @dataclass(frozen=True)
@@ -53,6 +95,12 @@ class RetainedKmers:
         """Total occurrences across all retained k-mers."""
         return int(self.rids.size)
 
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of the partition's arrays in bytes."""
+        return int(self.codes.nbytes + self.offsets.nbytes + self.rids.nbytes
+                   + self.positions.nbytes + self.strands.nbytes)
+
     def group(self, index: int) -> tuple[int, np.ndarray, np.ndarray, np.ndarray]:
         """(code, rids, positions, strands) of the *index*-th retained k-mer."""
         lo, hi = int(self.offsets[index]), int(self.offsets[index + 1])
@@ -75,8 +123,66 @@ class RetainedKmers:
         )
 
 
+def _validate_count_filters(min_count: int, max_count: int | None) -> None:
+    if min_count < 1:
+        raise ValueError("min_count must be >= 1")
+    if max_count is not None and max_count < min_count:
+        raise ValueError("max_count must be >= min_count")
+
+
+def _finalize_arrays(codes: np.ndarray, rids: np.ndarray, positions: np.ndarray,
+                     strands: np.ndarray, min_count: int,
+                     max_count: int | None) -> RetainedKmers:
+    """Group flat occurrence arrays by k-mer and apply the frequency filters.
+
+    The shared core of :meth:`KmerHashTablePartition.finalize` (whole
+    partition) and :meth:`KmerHashTablePartition.finalize_shards` (one code
+    range at a time): one stable sort, no per-group Python loop.
+    """
+    order = np.argsort(codes, kind="stable")
+    codes, rids, positions, strands = (
+        codes[order], rids[order], positions[order], strands[order]
+    )
+
+    unique_codes, group_starts, counts = np.unique(
+        codes, return_index=True, return_counts=True
+    )
+    keep = counts >= min_count
+    if max_count is not None:
+        keep &= counts <= max_count
+
+    kept_codes = unique_codes[keep]
+    kept_starts = group_starts[keep]
+    kept_counts = counts[keep]
+
+    # Rebuild a compact occurrence array containing only retained groups:
+    # a segment-wise arange built from repeat/cumsum, no per-group loop.
+    offsets = np.concatenate(([0], np.cumsum(kept_counts))).astype(np.int64)
+    if kept_codes.size:
+        take = (np.repeat(kept_starts - offsets[:-1], kept_counts)
+                + np.arange(int(offsets[-1]), dtype=np.int64))
+    else:
+        take = np.empty(0, dtype=np.int64)
+
+    return RetainedKmers(
+        codes=kept_codes.astype(np.uint64),
+        offsets=offsets,
+        rids=rids[take].astype(np.int64),
+        positions=positions[take].astype(np.int64),
+        strands=strands[take].astype(bool),
+    )
+
+
 class KmerHashTablePartition:
-    """One rank's partition of the distributed k-mer occurrence table."""
+    """One rank's partition of the distributed k-mer occurrence table.
+
+    Attributes
+    ----------
+    retained_peak_nbytes:
+        Size of the largest finalised shard built by the most recent
+        :meth:`finalize_shards` sweep (the streamed build's peak
+        retained-table memory; 0 before any sweep).
+    """
 
     def __init__(self) -> None:
         self._candidate_batches: list[np.ndarray] = []
@@ -85,6 +191,7 @@ class KmerHashTablePartition:
         self._occ_rids: list[np.ndarray] = []
         self._occ_positions: list[np.ndarray] = []
         self._occ_strands: list[np.ndarray] = []
+        self.retained_peak_nbytes: int = 0
 
     # -- pass 1: candidate keys from the Bloom filter ---------------------------------
 
@@ -167,50 +274,83 @@ class KmerHashTablePartition:
         occurrences — identical to the count the original implementation
         accumulates in the table.
         """
-        if min_count < 1:
-            raise ValueError("min_count must be >= 1")
-        if max_count is not None and max_count < min_count:
-            raise ValueError("max_count must be >= min_count")
+        _validate_count_filters(min_count, max_count)
         if not self._occ_codes:
             return RetainedKmers.empty()
-
-        codes = np.concatenate(self._occ_codes)
-        rids = np.concatenate(self._occ_rids)
-        positions = np.concatenate(self._occ_positions)
-        strands = np.concatenate(self._occ_strands)
-
-        order = np.argsort(codes, kind="stable")
-        codes, rids, positions, strands = (
-            codes[order], rids[order], positions[order], strands[order]
+        return _finalize_arrays(
+            np.concatenate(self._occ_codes),
+            np.concatenate(self._occ_rids),
+            np.concatenate(self._occ_positions),
+            np.concatenate(self._occ_strands),
+            min_count, max_count,
         )
 
-        unique_codes, group_starts, counts = np.unique(
-            codes, return_index=True, return_counts=True
-        )
-        keep = counts >= min_count
-        if max_count is not None:
-            keep &= counts <= max_count
+    def finalize_shards(self, boundaries: np.ndarray, min_count: int = 2,
+                        max_count: int | None = None) -> Iterator[RetainedKmers]:
+        """Finalise the partition one k-mer code range at a time.
 
-        kept_codes = unique_codes[keep]
-        kept_starts = group_starts[keep]
-        kept_counts = counts[keep]
+        Parameters
+        ----------
+        boundaries:
+            Ascending interior split points (from
+            :func:`shard_code_boundaries`); ``len(boundaries) + 1`` shards
+            are yielded, in ascending code order.
+        min_count / max_count:
+            The reliable-range filters, exactly as in :meth:`finalize`.
 
-        # Rebuild a compact occurrence array containing only retained groups:
-        # a segment-wise arange built from repeat/cumsum, no per-group loop.
-        offsets = np.concatenate(([0], np.cumsum(kept_counts))).astype(np.int64)
-        if kept_codes.size:
-            take = (np.repeat(kept_starts - offsets[:-1], kept_counts)
-                    + np.arange(int(offsets[-1]), dtype=np.int64))
-        else:
-            take = np.empty(0, dtype=np.int64)
+        Yields
+        ------
+        RetainedKmers
+            Shard ``s``'s retained k-mers — empty when the rank owns no
+            retained k-mer in that range.  Concatenating every shard equals
+            the monolithic :meth:`finalize` result bit for bit.
 
-        return RetainedKmers(
-            codes=kept_codes.astype(np.uint64),
-            offsets=offsets,
-            rids=rids[take].astype(np.int64),
-            positions=positions[take].astype(np.int64),
-            strands=strands[take].astype(bool),
-        )
+        Notes
+        -----
+        This generator **consumes** the partition: the buffered occurrence
+        batches are re-bucketed per shard up front (releasing the
+        originals), and each shard's raw buffers are dropped as soon as its
+        ``RetainedKmers`` is built.  Only one shard's sorted/grouped copy is
+        therefore ever live, which is the memory bound the streaming
+        hash-table stage relies on; :attr:`retained_peak_nbytes` records the
+        largest shard built.
+        """
+        _validate_count_filters(min_count, max_count)
+        boundaries = np.asarray(boundaries, dtype=np.uint64)
+        n_shards = int(boundaries.size) + 1
+        shard_batches: list[list[tuple[np.ndarray, ...]]] = [[] for _ in range(n_shards)]
+        while self._occ_codes:
+            codes = self._occ_codes.pop(0)
+            rids = self._occ_rids.pop(0)
+            positions = self._occ_positions.pop(0)
+            strands = self._occ_strands.pop(0)
+            shard_of = np.searchsorted(boundaries, codes, side="right")
+            for shard in np.unique(shard_of):
+                mask = shard_of == shard
+                shard_batches[shard].append(
+                    (codes[mask], rids[mask], positions[mask], strands[mask])
+                )
+        self.retained_peak_nbytes = 0
+        for shard in range(n_shards):
+            batches = shard_batches[shard]
+            shard_batches[shard] = []  # release the raw buffers of this shard
+            if batches:
+                retained = _finalize_arrays(
+                    np.concatenate([b[0] for b in batches]),
+                    np.concatenate([b[1] for b in batches]),
+                    np.concatenate([b[2] for b in batches]),
+                    np.concatenate([b[3] for b in batches]),
+                    min_count, max_count,
+                )
+            else:
+                retained = RetainedKmers.empty()
+            self.retained_peak_nbytes = max(self.retained_peak_nbytes, retained.nbytes)
+            yield retained
+            # Drop the generator frame's own reference before the next
+            # iteration builds shard s+1 — otherwise shard s would stay
+            # reachable through this frame even after the caller released
+            # it, and the one-live-shard memory bound would silently be two.
+            del retained
 
     # -- introspection ----------------------------------------------------------------------
 

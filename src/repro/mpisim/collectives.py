@@ -12,6 +12,8 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro.seq.packing import PackedReadBlock
+
 #: Approximate per-object overhead charged for generic Python payloads, in
 #: bytes.  Collectives moving structured Python objects (read-pair tuples,
 #: read strings) are charged their contents plus this envelope, which keeps
@@ -30,6 +32,11 @@ def payload_nbytes(payload: Any) -> int:
         return 0
     if isinstance(payload, np.ndarray):
         return int(payload.nbytes)
+    if isinstance(payload, PackedReadBlock):
+        # The 2-bit packed read-block wire format: headers + packed payload
+        # (matches the serialized tag-R frame, so the trace reflects the
+        # volume the packing actually saves).
+        return payload.wire_nbytes
     if isinstance(payload, (bytes, bytearray, memoryview)):
         return len(payload)
     if isinstance(payload, str):

@@ -35,6 +35,9 @@ Every value is ``tag (1 byte) + body``:
   e.g. ``"<i8"``) + u8 ndim + ndim × u64 shape + raw C-order buffer.
 * ``L``/``U`` — list / tuple, u64 count + encoded items.
 * ``M`` — dict, u64 count + encoded (key, value) pairs in insertion order.
+* ``R`` — :class:`repro.seq.packing.PackedReadBlock`, u64 read count +
+  read-count × i64 RIDs + read-count × i64 base lengths + u64 payload length
+  + the 2-bit packed payload bytes (see ``docs/wire-format.md``).
 """
 
 from __future__ import annotations
@@ -43,6 +46,8 @@ import struct
 from typing import Any
 
 import numpy as np
+
+from repro.seq.packing import PackedReadBlock
 
 __all__ = ["encode_payload", "decode_payload", "UnsupportedPayloadError"]
 
@@ -117,6 +122,20 @@ def _encode(value: Any, parts: list[bytes]) -> None:
         parts.append(raw)
     elif isinstance(value, np.ndarray):
         _encode_array(value, parts)
+    elif isinstance(value, PackedReadBlock):
+        # The alignment-stage read-block wire format: fixed-width headers
+        # (RIDs, base lengths) followed by the 2-bit packed payload.  A
+        # dedicated tag keeps the per-read framing implicit (byte offsets
+        # derive from the lengths), so no per-read envelope is paid.
+        rids = np.ascontiguousarray(value.rids, dtype=np.int64)
+        lengths = np.ascontiguousarray(value.lengths, dtype=np.int64)
+        packed = np.ascontiguousarray(value.packed, dtype=np.uint8)
+        parts.append(b"R")
+        parts.append(_U64.pack(rids.size))
+        parts.append(rids.tobytes(order="C"))
+        parts.append(lengths.tobytes(order="C"))
+        parts.append(_U64.pack(packed.size))
+        parts.append(packed.tobytes(order="C"))
     elif isinstance(value, (list, tuple)):
         parts.append(b"L" if isinstance(value, list) else b"U")
         parts.append(_U64.pack(len(value)))
@@ -189,6 +208,19 @@ def _decode(buf: memoryview, offset: int) -> tuple[Any, int]:
         # the array owns its data and survives the segment being unmapped.
         array = np.frombuffer(buf, dtype=dtype, count=count, offset=offset)
         return array.reshape(shape).copy(), offset + nbytes
+    if tag == b"R":
+        (n_reads,) = _U64.unpack_from(buf, offset)
+        offset += 8
+        # Copy out of the (possibly shared-memory) buffer so the block owns
+        # its data and survives the segment being unmapped.
+        rids = np.frombuffer(buf, dtype=np.int64, count=n_reads, offset=offset).copy()
+        offset += 8 * n_reads
+        lengths = np.frombuffer(buf, dtype=np.int64, count=n_reads, offset=offset).copy()
+        offset += 8 * n_reads
+        (packed_len,) = _U64.unpack_from(buf, offset)
+        offset += 8
+        packed = np.frombuffer(buf, dtype=np.uint8, count=packed_len, offset=offset).copy()
+        return PackedReadBlock(rids=rids, lengths=lengths, packed=packed), offset + packed_len
     if tag in (b"L", b"U"):
         (count,) = _U64.unpack_from(buf, offset)
         offset += 8

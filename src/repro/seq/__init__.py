@@ -9,6 +9,9 @@ diBELLA pipeline is built on:
   integer arrays (the representation used for k-mer codes, see §3 of the
   paper: "Each k-mer character from the four letter alphabet {A,C,T,G} can be
   represented with 2 bits").
+* :mod:`repro.seq.packing` — the 2-bit packed wire codec (4 bases/byte) and
+  the :class:`PackedReadBlock` format the alignment-stage read exchange
+  ships (see ``docs/wire-format.md``).
 * :mod:`repro.seq.kmer` — k-mer extraction, canonicalisation and 64-bit k-mer
   codes, including the vectorised rolling extraction used by the pipeline.
 * :mod:`repro.seq.records` — :class:`Read` and :class:`ReadSet` containers.
@@ -28,6 +31,13 @@ from repro.seq.encoding import (
     decode_sequence,
     pack_2bit,
     unpack_2bit,
+)
+from repro.seq.packing import (
+    PackedReadBlock,
+    pack_codes,
+    pack_read_block,
+    packed_length,
+    unpack_codes,
 )
 from repro.seq.kmer import (
     KmerSpec,
@@ -55,6 +65,11 @@ __all__ = [
     "decode_sequence",
     "pack_2bit",
     "unpack_2bit",
+    "PackedReadBlock",
+    "pack_codes",
+    "unpack_codes",
+    "packed_length",
+    "pack_read_block",
     "KmerSpec",
     "extract_kmer_codes",
     "extract_kmers_with_positions",

@@ -6,6 +6,13 @@ power of two (typically 32 or 64 bits).  Here sequences are encoded to
 ``uint8`` code arrays (one code per base) for general manipulation, and packed
 into ``uint64`` words (32 bases per word) when a compact representation is
 needed (e.g. for hashing whole reads or for memory accounting).
+
+:func:`pack_2bit` / :func:`unpack_2bit` use the word-oriented layout
+(most-significant lanes first within each ``uint64``); the *wire* codec in
+:mod:`repro.seq.packing` packs byte-oriented instead (4 bases/byte,
+least-significant lanes first) so read payloads can be sliced at byte
+granularity.  The two layouts are not interchangeable — always unpack with
+the function matching the packer.
 """
 
 from __future__ import annotations

@@ -7,7 +7,11 @@ from hypothesis import given, settings, strategies as st
 from repro.kmers.bloom import BloomFilter
 from repro.kmers.counter import KmerCounter, count_kmers, kmer_frequency_histogram
 from repro.kmers.hashing import hash_with_seed, mix64, owner_of
-from repro.kmers.hashtable import KmerHashTablePartition, RetainedKmers
+from repro.kmers.hashtable import (
+    KmerHashTablePartition,
+    RetainedKmers,
+    shard_code_boundaries,
+)
 from repro.kmers.hyperloglog import HyperLogLog
 from repro.seq.kmer import KmerSpec
 
@@ -283,3 +287,90 @@ class TestHashTablePartition:
     def test_retained_empty_constructor(self):
         empty = RetainedKmers.empty()
         assert empty.n_kmers == 0 and empty.n_occurrences == 0
+
+
+def _concat_retained(shards):
+    """Concatenate shard results back into one RetainedKmers (test oracle)."""
+    non_empty = [s for s in shards if s.n_kmers]
+    if not non_empty:
+        return RetainedKmers.empty()
+    counts = np.concatenate([np.diff(s.offsets) for s in non_empty])
+    return RetainedKmers(
+        codes=np.concatenate([s.codes for s in non_empty]),
+        offsets=np.concatenate(([0], np.cumsum(counts))).astype(np.int64),
+        rids=np.concatenate([s.rids for s in non_empty]),
+        positions=np.concatenate([s.positions for s in non_empty]),
+        strands=np.concatenate([s.strands for s in non_empty]),
+    )
+
+
+class TestCodeRangeSharding:
+    """finalize_shards: a streamed, memory-bounded equivalent of finalize."""
+
+    def _random_partition(self, seed=0, n_occ=400, code_bits=34):
+        rng = np.random.default_rng(seed)
+        codes = rng.integers(0, 1 << code_bits, size=n_occ).astype(np.uint64)
+        # Duplicate a share of codes so multi-occurrence groups exist.
+        codes[n_occ // 2 :] = codes[: n_occ - n_occ // 2]
+        part = KmerHashTablePartition()
+        part.add_candidate_keys(codes)
+        part.finalize_keys()
+        # Feed occurrences in several batches, as the exchange supersteps do.
+        for lo in range(0, n_occ, 97):
+            hi = min(lo + 97, n_occ)
+            part.add_occurrences(
+                codes[lo:hi],
+                rng.integers(0, 50, size=hi - lo),
+                rng.integers(0, 1000, size=hi - lo),
+                rng.integers(0, 2, size=hi - lo).astype(bool),
+            )
+        return part
+
+    def test_boundaries_partition_the_code_space(self):
+        boundaries = shard_code_boundaries(k=17, n_shards=4)
+        assert boundaries.dtype == np.uint64
+        assert boundaries.size == 3
+        assert np.all(np.diff(boundaries.astype(object)) > 0)
+        assert int(boundaries[-1]) < 4 ** 17
+        assert shard_code_boundaries(k=17, n_shards=1).size == 0
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 8])
+    def test_shards_concatenate_to_the_monolithic_finalize(self, n_shards):
+        reference = self._random_partition().finalize(min_count=2, max_count=6)
+        part = self._random_partition()
+        shards = list(part.finalize_shards(shard_code_boundaries(17, n_shards),
+                                           min_count=2, max_count=6))
+        assert len(shards) == n_shards
+        merged = _concat_retained(shards)
+        np.testing.assert_array_equal(merged.codes, reference.codes)
+        np.testing.assert_array_equal(merged.offsets, reference.offsets)
+        np.testing.assert_array_equal(merged.rids, reference.rids)
+        np.testing.assert_array_equal(merged.positions, reference.positions)
+        np.testing.assert_array_equal(merged.strands, reference.strands)
+
+    def test_sharding_cuts_peak_retained_memory(self):
+        whole = self._random_partition()
+        list(whole.finalize_shards(shard_code_boundaries(17, 1)))
+        unsharded_peak = whole.retained_peak_nbytes
+
+        sharded = self._random_partition()
+        list(sharded.finalize_shards(shard_code_boundaries(17, 4)))
+        assert 0 < sharded.retained_peak_nbytes < unsharded_peak
+
+    def test_generator_consumes_the_buffers(self):
+        part = self._random_partition()
+        assert part.n_occurrences_buffered > 0
+        list(part.finalize_shards(shard_code_boundaries(17, 2)))
+        assert part.n_occurrences_buffered == 0
+
+    def test_empty_partition_yields_empty_shards(self):
+        part = KmerHashTablePartition()
+        part.finalize_keys()
+        shards = list(part.finalize_shards(shard_code_boundaries(17, 3)))
+        assert [s.n_kmers for s in shards] == [0, 0, 0]
+
+    def test_count_filter_validation(self):
+        part = KmerHashTablePartition()
+        part.finalize_keys()
+        with pytest.raises(ValueError):
+            list(part.finalize_shards(shard_code_boundaries(17, 2), min_count=0))

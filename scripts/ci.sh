@@ -4,21 +4,23 @@
 # Tiers:
 #   docs  — dead-link check over README.md and docs/ (always runs first).
 #   fast  — unit tests only (-m "not slow"), a few seconds; run on every change.
-#           Runs four times: under the default thread backend, under the
+#           Runs five times: under the default thread backend, under the
 #           multiprocess shared-memory backend (DIBELLA_BACKEND=process),
 #           under the process backend with the persistent rank pool
 #           (DIBELLA_POOL=1) so pooled engine reuse is exercised suite-wide,
-#           and with 2-bit wire packing disabled (DIBELLA_WIRE_PACKING=0) so
-#           the ASCII read-exchange fallback stays exercised.
+#           with 2-bit wire packing disabled (DIBELLA_WIRE_PACKING=0) so
+#           the ASCII read-exchange fallback stays exercised, and with
+#           double buffering disabled (DIBELLA_DOUBLE_BUFFER=0) so every
+#           stage's bulk-synchronous superstep schedule stays exercised.
 #   slow  — the end-to-end pipeline / harness / baseline tests, also under
 #           both runtime backends.
 #   bench — the perf gates: the overlap microbenchmark (pair generation,
 #           consolidation and seed selection vs their loop oracles) and the
 #           backend scaling bench (process-backend overlap-stage speedup,
-#           double-buffered exposed-exchange reduction, pool amortisation —
-#           enforced only on hosts with enough cores — and the wire-packing
-#           byte gate: packed alignment read payload <= 0.3x raw, always
-#           enforced).
+#           double-buffered exposed-exchange reduction for the overlap and
+#           k-mer stages, pool amortisation — enforced only on hosts with
+#           enough cores — and the wire-packing byte gate: packed alignment
+#           read payload <= 0.3x raw, always enforced).
 #
 # Usage:
 #   scripts/ci.sh          # everything (the tier-1 gate plus the perf gates)
@@ -43,6 +45,9 @@ DIBELLA_POOL=1 DIBELLA_BACKEND=process python -m pytest tests -m "not slow" -q
 
 echo "== fast tier: unit tests (ASCII wire fallback, DIBELLA_WIRE_PACKING=0) =="
 DIBELLA_WIRE_PACKING=0 python -m pytest tests -m "not slow" -q
+
+echo "== fast tier: unit tests (bulk-synchronous supersteps, DIBELLA_DOUBLE_BUFFER=0) =="
+DIBELLA_DOUBLE_BUFFER=0 python -m pytest tests -m "not slow" -q
 
 if [ "$tier" = "all" ]; then
     echo "== slow tier: end-to-end pipeline tests (thread backend) =="

@@ -21,12 +21,35 @@ from repro.seq.kmer import KmerSpec
 from repro.seq.records import ReadSet
 
 
+#: The four stages whose exchanges run on the unified superstep scheduler
+#: (`repro.core.supersteps`), in pipeline order.  Mirrors
+#: ``repro.core.result.STAGE_NAMES`` (kept separate to avoid an import
+#: cycle: ``result`` imports this module).
+SUPERSTEP_STAGES: tuple[str, ...] = ("bloom", "hashtable", "overlap", "alignment")
+
+
 def _env_flag(name: str, default: bool) -> bool:
     """Parse a boolean environment knob (unset -> *default*)."""
     raw = os.environ.get(name)
     if raw is None:
         return default
     return raw.strip().lower() not in ("0", "", "false", "off", "no")
+
+
+def _env_stage_tuple(name: str) -> tuple[str, ...] | None:
+    """Parse a comma-separated stage list from the environment (unset -> None)."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return None
+    return tuple(part.strip() for part in raw.split(",") if part.strip())
+
+
+def _env_optional_int(name: str) -> int | None:
+    """Parse an optional positive int knob (unset or "0" -> None)."""
+    raw = os.environ.get(name)
+    if raw is None or raw.strip() in ("", "0"):
+        return None
+    return int(raw)
 
 
 @dataclass(frozen=True)
@@ -83,13 +106,21 @@ class PipelineConfig:
         buffers held in memory.  ``None`` disables chunking (one monolithic
         Alltoallv, the paper's original pattern).
     double_buffer:
-        Double-buffer the overlap stage's chunked pair exchange: chunk
+        Double-buffer every stage's exchange supersteps: each stage's chunk
         ``i+1`` is generated and published while the peers are still reading
-        chunk ``i`` (split-phase ``alltoallv_start``/``alltoallv_finish``),
-        hiding pair-generation latency behind the exchange.  Scientific
-        output is bit-identical either way; the default honours
-        ``DIBELLA_DOUBLE_BUFFER`` (set to ``0`` to force the
-        bulk-synchronous schedule).
+        chunk ``i`` (split-phase ``alltoallv_start``/``alltoallv_finish``
+        through the unified :class:`~repro.core.supersteps.SuperstepSchedule`),
+        hiding batch parsing / pair generation / read serving behind the
+        exchanges.  Scientific output is bit-identical either way; the
+        default honours ``DIBELLA_DOUBLE_BUFFER`` (set to ``0`` to force the
+        bulk-synchronous schedule everywhere).
+    double_buffer_stages:
+        Per-stage override of ``double_buffer``: when set, exactly the named
+        stages (a subset of :data:`SUPERSTEP_STAGES`) run double-buffered
+        and the rest run bulk-synchronous, regardless of the global flag.
+        ``None`` (the default) applies ``double_buffer`` uniformly.  The
+        default honours ``DIBELLA_DOUBLE_BUFFER_STAGES`` (comma-separated
+        stage names; an empty value means "no stage double-buffers").
     wire_packing:
         Ship the alignment-stage read blocks 2-bit packed (4 bases/byte, see
         :mod:`repro.seq.packing` and ``docs/wire-format.md``) instead of
@@ -106,6 +137,16 @@ class PipelineConfig:
         shard instead of the whole partition (counter
         ``retained_table_peak_bytes``).  Output is bit-identical for every
         shard count.  The default honours ``DIBELLA_HASH_SHARDS``.
+    alignment_batch_tasks:
+        Number of alignment tasks per superstep of the alignment stage's
+        two-hop (request/response) read-fetch schedule.  With a bound, each
+        superstep requests only the remote reads its task batch needs first
+        (every read is still fetched exactly once), and with double
+        buffering batch ``i+1``'s fetch is in flight while batch ``i``
+        aligns.  ``None`` (the default) fetches everything in one superstep
+        — the paper's original two-round exchange.  Output is bit-identical
+        for every batch size.  The default honours
+        ``DIBELLA_ALIGN_BATCH_TASKS`` (``0``/unset means ``None``).
     pool:
         Run the SPMD program on the persistent rank pool: with the process
         backend, rank processes park on a barrier between ``spmd_run``
@@ -140,11 +181,17 @@ class PipelineConfig:
     double_buffer: bool = field(
         default_factory=lambda: _env_flag("DIBELLA_DOUBLE_BUFFER", True)
     )
+    double_buffer_stages: tuple[str, ...] | None = field(
+        default_factory=lambda: _env_stage_tuple("DIBELLA_DOUBLE_BUFFER_STAGES")
+    )
     wire_packing: bool = field(
         default_factory=lambda: _env_flag("DIBELLA_WIRE_PACKING", True)
     )
     hash_table_shards: int = field(
         default_factory=lambda: int(os.environ.get("DIBELLA_HASH_SHARDS", "4"))
+    )
+    alignment_batch_tasks: int | None = field(
+        default_factory=lambda: _env_optional_int("DIBELLA_ALIGN_BATCH_TASKS")
     )
     pool: bool = field(default_factory=lambda: _env_flag("DIBELLA_POOL", False))
 
@@ -171,6 +218,19 @@ class PipelineConfig:
             raise ValueError("exchange_chunk_mb must be positive (or None to disable)")
         if self.hash_table_shards < 1:
             raise ValueError("hash_table_shards must be >= 1")
+        if self.double_buffer_stages is not None:
+            # Normalise list-like inputs to a tuple (the config is frozen).
+            object.__setattr__(self, "double_buffer_stages",
+                               tuple(self.double_buffer_stages))
+            unknown = set(self.double_buffer_stages) - set(SUPERSTEP_STAGES)
+            if unknown:
+                raise ValueError(
+                    f"unknown double_buffer_stages {sorted(unknown)}; "
+                    f"expected a subset of {SUPERSTEP_STAGES}"
+                )
+        if self.alignment_batch_tasks is not None and self.alignment_batch_tasks < 1:
+            raise ValueError(
+                "alignment_batch_tasks must be >= 1 (or None for one batch)")
 
     # -- derived parameters ---------------------------------------------------
 
@@ -190,8 +250,38 @@ class PipelineConfig:
         return replace(self, pool=pool)
 
     def with_double_buffer(self, double_buffer: bool) -> "PipelineConfig":
-        """Copy of this config with overlap-exchange double buffering on or off."""
-        return replace(self, double_buffer=double_buffer)
+        """Copy of this config with exchange double buffering on or off (all stages)."""
+        return replace(self, double_buffer=double_buffer, double_buffer_stages=None)
+
+    def with_double_buffer_stages(
+        self, stages: tuple[str, ...] | None
+    ) -> "PipelineConfig":
+        """Copy of this config double-buffering exactly *stages* (None = global flag)."""
+        return replace(self, double_buffer_stages=stages)
+
+    def with_alignment_batch_tasks(self, batch: int | None) -> "PipelineConfig":
+        """Copy of this config fetching/aligning *batch* tasks per superstep."""
+        return replace(self, alignment_batch_tasks=batch)
+
+    def stage_double_buffer(self, stage: str) -> bool:
+        """Whether *stage*'s exchange supersteps run double-buffered.
+
+        Parameters
+        ----------
+        stage:
+            One of :data:`SUPERSTEP_STAGES`.
+
+        Returns
+        -------
+        bool
+            The per-stage override when ``double_buffer_stages`` is set,
+            otherwise the global ``double_buffer`` flag.
+        """
+        if stage not in SUPERSTEP_STAGES:
+            raise ValueError(f"unknown superstep stage {stage!r}")
+        if self.double_buffer_stages is not None:
+            return stage in self.double_buffer_stages
+        return bool(self.double_buffer)
 
     def with_wire_packing(self, wire_packing: bool) -> "PipelineConfig":
         """Copy of this config with 2-bit read-block wire packing on or off."""

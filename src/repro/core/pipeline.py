@@ -46,12 +46,22 @@ class DibellaPipeline:
         Simulated node/rank layout.  The number of simulated ranks bounds the
         thread/process count; the projection onto real platforms uses the
         node count plus the platform's own cores-per-node.
+    cache_namespace:
+        Optional qualifier folded into the pooled read-cache generation tag.
+        Pooled runs normally share caches whenever the read set matches; a
+        caller that wants pool *startup* amortisation without cross-run
+        cache reuse (the bench harness — cache hits would change a
+        measurement's exchange volumes) passes a fresh namespace per run, so
+        the rank processes themselves evict the previous generation when
+        they acquire their caches.  No effect without ``config.pool``.
     """
 
     def __init__(self, config: PipelineConfig | None = None,
-                 topology: Topology | None = None):
+                 topology: Topology | None = None,
+                 cache_namespace: str | None = None):
         self.config = config or PipelineConfig()
         self.topology = topology or Topology.single_node(4)
+        self.cache_namespace = cache_namespace
 
     def run(self, readset: ReadSet) -> PipelineResult:
         """Run the full pipeline on *readset* and return the assembled result."""
@@ -66,8 +76,13 @@ class DibellaPipeline:
         trace = CommTrace(n_ranks)
         # Under the persistent rank pool, tag this run's read caches with the
         # data set's content digest so reused ranks hit across runs over the
-        # same reads — and never across different read sets.
+        # same reads — and never across different read sets.  A cache
+        # namespace qualifies the tag so the owner of this pipeline can opt
+        # out of cross-run reuse (each distinct tag evicts the previous
+        # generation inside the rank processes).
         cache_tag = readset.fingerprint() if config.pool else None
+        if cache_tag is not None and self.cache_namespace is not None:
+            cache_tag = f"{cache_tag}:{self.cache_namespace}"
 
         start = time.perf_counter()
         reports: list[RankReport] = spmd_run(

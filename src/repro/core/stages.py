@@ -9,6 +9,12 @@ stage follows the structure of §§6-9 of the paper:
 * exchange with ``alltoallv``,
 * process the received data.
 
+Every stage's exchange loop runs on the shared
+:class:`~repro.core.supersteps.SuperstepSchedule`: the stages only provide
+produce/consume callbacks, and the scheduler owns global step-count
+agreement, the double-buffered split-phase schedule (with its
+bulk-synchronous fallback), and the exposed-vs-overlapped timer attribution.
+
 Wall time is measured separately for the compute and exchange parts of every
 stage (the paper's runtime-breakdown figures), and each stage accumulates the
 machine-independent work counters the performance model projects onto the
@@ -18,7 +24,6 @@ Table 1 platforms.
 from __future__ import annotations
 
 import threading
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -27,6 +32,7 @@ from repro.align.batch import BatchAligner, TaskBatch
 from repro.align.read_cache import ReadCache
 from repro.core.config import PipelineConfig
 from repro.core.result import RankReport
+from repro.core.supersteps import StageTimer, SuperstepSchedule
 from repro.kmers.bloom import BloomFilter
 from repro.kmers.hashing import owner_of
 from repro.kmers.hashtable import (
@@ -49,50 +55,6 @@ from repro.seq.kmer import extract_kmers_batch
 from repro.seq.packing import PackedReadBlock, pack_read_block
 from repro.seq.records import ReadSet
 
-
-@dataclass
-class _StageTimer:
-    """Accumulates compute vs exchange wall time for one stage on one rank.
-
-    ``exchange_seconds`` measures *blocking* communication calls only, so
-    under the double-buffered overlap exchange it is the **exposed**
-    exchange time; ``overlapped_seconds`` measures compute performed while
-    an exchange superstep was in flight (latency the double buffering hid).
-    The bulk-synchronous path never records overlapped time.
-    """
-
-    compute_seconds: float = 0.0
-    exchange_seconds: float = 0.0
-    overlapped_seconds: float = 0.0
-
-    class _Section:
-        def __init__(self, timer: "_StageTimer", attr: str):
-            self._timer = timer
-            self._attr = attr
-            self._start = 0.0
-
-        def __enter__(self) -> "_StageTimer._Section":
-            self._start = time.perf_counter()
-            return self
-
-        def __exit__(self, *exc_info: object) -> None:
-            elapsed = time.perf_counter() - self._start
-            setattr(self._timer, self._attr,
-                    getattr(self._timer, self._attr) + elapsed)
-
-    def compute(self) -> "_StageTimer._Section":
-        """Context manager timing a local-compute section."""
-        return self._Section(self, "compute_seconds")
-
-    def exchange(self) -> "_StageTimer._Section":
-        """Context manager timing a (blocking) communication section."""
-        return self._Section(self, "exchange_seconds")
-
-    def overlapped(self) -> "_StageTimer._Section":
-        """Context manager timing compute overlapped with an in-flight exchange."""
-        return self._Section(self, "overlapped_seconds")
-
-
 @dataclass
 class _RankState:
     """Mutable per-rank state threaded through the stages."""
@@ -107,13 +69,13 @@ class _RankState:
     overlaps: OverlapTable = field(default_factory=OverlapTable.empty)
     tasks: TaskBatch = field(default_factory=TaskBatch.empty)
     read_cache: ReadCache = field(default_factory=ReadCache)
-    timers: dict[str, _StageTimer] = field(default_factory=dict)
+    timers: dict[str, StageTimer] = field(default_factory=dict)
     work: dict[str, float] = field(default_factory=dict)
     local_bytes: dict[str, float] = field(default_factory=dict)
     counters: dict[str, int] = field(default_factory=dict)
 
-    def timer(self, stage: str) -> _StageTimer:
-        return self.timers.setdefault(stage, _StageTimer())
+    def timer(self, stage: str) -> StageTimer:
+        return self.timers.setdefault(stage, StageTimer())
 
 
 # ---------------------------------------------------------------------------
@@ -193,11 +155,6 @@ def _local_batches(local_rids: list[int], batch_reads: int) -> list[list[int]]:
     return [local_rids[i : i + batch_reads] for i in range(0, len(local_rids), batch_reads)]
 
 
-def _global_batch_count(comm: SimCommunicator, n_local_batches: int) -> int:
-    """Every rank must run the same number of supersteps (max over ranks)."""
-    return int(comm.allreduce(n_local_batches, op="max"))
-
-
 def _extract_batch_kmers(
     readset: ReadSet, rids: list[int], config: PipelineConfig, with_positions: bool
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
@@ -236,11 +193,24 @@ def bloom_filter_stage(comm: SimCommunicator, state: _RankState) -> None:
     instance count would overshoot by roughly the coverage depth.
 
     Each batch's k-mers are extracted exactly once: the pre-pass stashes the
-    per-batch code arrays it sketches and the superstep loop reuses them, so
-    stage 1 parses every read a single time instead of twice.  (The stash
-    holds the rank's k-mer codes for the duration of the stage — 8 bytes per
-    instance, the same order of memory the monolithic exchange would have
-    needed for one batch's send buffers per superstep anyway.)
+    per-batch code arrays it sketches, and the superstep schedule consumes
+    the stash one batch per step — each entry is **released** the moment its
+    send buffers exist, instead of the whole stash being retained until the
+    stage ends.  The pre-pass itself still materialises the full stash once
+    (the filter must be sized before the first insert, so every local k-mer
+    is sketched first); what the release schedule buys is that the stash
+    shrinks by one batch per superstep instead of riding at full size
+    through the whole exchange loop.  The counters
+    ``bloom_stash_total_bytes`` (the full stash, which whole-stage retention
+    held through every superstep *and* the finalise) and
+    ``bloom_stash_peak_bytes`` (the largest residue surviving any superstep
+    under the consume-and-free schedule — ``total`` minus the first batch)
+    record exactly that saving; both are pure functions of the batch layout,
+    so they are bit-identical across backends and schedules.
+
+    With double buffering (``config.stage_double_buffer("bloom")``), batch
+    ``i+1``'s bucketing is performed — and published — while the peers are
+    still reading batch ``i``'s k-mers.
 
     Parameters
     ----------
@@ -255,19 +225,19 @@ def bloom_filter_stage(comm: SimCommunicator, state: _RankState) -> None:
     comm.set_phase("bloom_exchange")
 
     batches = _local_batches(state.local_rids, config.batch_reads)
-    n_supersteps = _global_batch_count(comm, len(batches))
 
     # HyperLogLog pre-pass: sketch the local k-mers, merge the registers
     # across ranks (register-wise max == sketch union), size the filter from
     # the distinct-cardinality estimate.
     with timer.compute():
         sketch = HyperLogLog(precision=config.hll_precision)
-        batch_codes: list[np.ndarray] = []
+        batch_codes: list[np.ndarray | None] = []
         for rids in batches:
             codes, _, _, _ = _extract_batch_kmers(state.readset, rids, config,
                                                   with_positions=False)
             sketch.add_many(codes)
             batch_codes.append(codes)
+        batch_nbytes = [int(codes.nbytes) for codes in batch_codes]
     with timer.exchange():
         merged_registers = comm.allreduce(sketch.registers(), op="max")
     with timer.compute():
@@ -277,27 +247,47 @@ def bloom_filter_stage(comm: SimCommunicator, state: _RankState) -> None:
         bloom = BloomFilter.for_expected_items(expected_per_rank,
                                                fp_rate=config.bloom_fp_rate)
 
+    # Stash accounting: the total is what the stage used to hold until its
+    # end; the peak is the largest residue left after any superstep releases
+    # its batch (a pure function of the batch byte sizes, so it is identical
+    # across backends and across the double-buffered/synchronous schedules).
+    stash_total = sum(batch_nbytes)
+    stash_peak = 0
+    remaining = stash_total
+    for nbytes in batch_nbytes:
+        remaining -= nbytes
+        stash_peak = max(stash_peak, remaining)
+
     kmers_parsed = 0
     kmers_received = 0
 
-    for step in range(n_supersteps):
-        with timer.compute():
-            codes = (batch_codes[step] if step < len(batch_codes)
-                     else np.empty(0, dtype=np.uint64))
-            kmers_parsed += int(codes.size)
-            owners = owner_of(codes, comm.size) if codes.size else np.empty(0, dtype=np.int64)
-            send = bucket_by_destination(codes, owners, comm.size) if codes.size else [
-                np.empty(0, dtype=np.uint64) for _ in range(comm.size)
-            ]
-        with timer.exchange():
-            received = comm.alltoallv(send)
-        with timer.compute():
-            chunks = [np.asarray(c, dtype=np.uint64) for c in received if np.asarray(c).size]
-            if chunks:
-                incoming = np.concatenate(chunks)
-                kmers_received += int(incoming.size)
-                seen_before = bloom.insert_many(incoming)
-                state.hashtable.add_candidate_keys(incoming[seen_before])
+    def produce(step: int) -> list[np.ndarray]:
+        nonlocal kmers_parsed
+        if step < len(batch_codes):
+            codes = batch_codes[step]
+            batch_codes[step] = None  # consumed: free the stash entry
+        else:
+            codes = np.empty(0, dtype=np.uint64)
+        kmers_parsed += int(codes.size)
+        if codes.size:
+            owners = owner_of(codes, comm.size)
+            return bucket_by_destination(codes, owners, comm.size)
+        return [np.empty(0, dtype=np.uint64) for _ in range(comm.size)]
+
+    def consume(step: int, received: list) -> None:
+        nonlocal kmers_received
+        chunks = [np.asarray(c, dtype=np.uint64) for c in received if np.asarray(c).size]
+        if chunks:
+            incoming = np.concatenate(chunks)
+            kmers_received += int(incoming.size)
+            seen_before = bloom.insert_many(incoming)
+            state.hashtable.add_candidate_keys(incoming[seen_before])
+
+    schedule = SuperstepSchedule(
+        comm, timer, len(batches),
+        double_buffer=config.stage_double_buffer("bloom"), label="bloom",
+    )
+    outcome = schedule.run(produce, consume)
 
     with timer.compute():
         n_keys = state.hashtable.finalize_keys()
@@ -308,6 +298,13 @@ def bloom_filter_stage(comm: SimCommunicator, state: _RankState) -> None:
     state.counters["kmers_received_bloom"] = kmers_received
     state.counters["distinct_keys"] = n_keys
     state.counters["bloom_nbytes"] = bloom.nbytes
+    state.counters["bloom_stash_total_bytes"] = stash_total
+    state.counters["bloom_stash_peak_bytes"] = stash_peak
+    # Schedule flags: functions of the config and batch layout only, so they
+    # stay bit-identical across runtime backends (the counter-parity
+    # invariant) — like the overlap stage's counterparts.
+    state.counters["bloom_exchange_double_buffered"] = int(outcome.double_buffered)
+    state.counters["bloom_steps_overlapped"] = outcome.steps_overlapped
     if comm.rank == 0:
         # Identical on every rank after the allreduce; recorded once so the
         # summed global counters report the estimate itself.
@@ -324,6 +321,13 @@ def hash_table_stage(comm: SimCommunicator, state: _RankState) -> None:
     Occurrences are stored only for k-mers already registered as keys; the
     finalisation then removes false-positive singletons and k-mers above the
     high-frequency threshold m, leaving the retained k-mers (§7).
+
+    The stage streams its batches through the superstep schedule: each step
+    extracts and packs one batch of local reads and ships the (k-mer,
+    packed-metadata) pairs to their owners.  With double buffering
+    (``config.stage_double_buffer("hashtable")``), batch ``i+1``'s
+    extraction — the stage's dominant compute — runs while the peers are
+    still reading batch ``i``'s occurrences.
 
     The finalisation itself — grouping the buffered occurrences into the
     retained table — is *deferred*: it runs one k-mer **code-range shard**
@@ -350,54 +354,59 @@ def hash_table_stage(comm: SimCommunicator, state: _RankState) -> None:
     comm.set_phase("hashtable_exchange")
 
     batches = _local_batches(state.local_rids, config.batch_reads)
-    n_supersteps = _global_batch_count(comm, len(batches))
 
     occurrences_received = 0
     occurrences_stored = 0
 
-    for step in range(n_supersteps):
+    def produce(step: int) -> list[np.ndarray]:
         rids = batches[step] if step < len(batches) else []
-        with timer.compute():
-            codes, rid_arr, pos_arr, strand_arr = _extract_batch_kmers(
-                state.readset, rids, config, with_positions=True
+        codes, rid_arr, pos_arr, strand_arr = _extract_batch_kmers(
+            state.readset, rids, config, with_positions=True
+        )
+        if codes.size:
+            owners = owner_of(codes, comm.size)
+            # Pack (RID, strand, position) into one word: RID in the high
+            # 32 bits, the strand flag in bit 31, the position in the low
+            # 31 bits.  This keeps the hash-table exchange at 2 words per
+            # k-mer instance (the paper reports ~2.5x the Bloom-filter
+            # stage volume, §7).
+            packed_meta = (
+                (rid_arr.astype(np.uint64) << np.uint64(32))
+                | (strand_arr.astype(np.uint64) << np.uint64(31))
+                | pos_arr.astype(np.uint64)
             )
-            if codes.size:
-                owners = owner_of(codes, comm.size)
-                # Pack (RID, strand, position) into one word: RID in the high
-                # 32 bits, the strand flag in bit 31, the position in the low
-                # 31 bits.  This keeps the hash-table exchange at 2 words per
-                # k-mer instance (the paper reports ~2.5x the Bloom-filter
-                # stage volume, §7).
-                packed_meta = (
-                    (rid_arr.astype(np.uint64) << np.uint64(32))
-                    | (strand_arr.astype(np.uint64) << np.uint64(31))
-                    | pos_arr.astype(np.uint64)
-                )
-                payload = np.stack([codes, packed_meta], axis=1)
-                send = bucket_by_destination(payload, owners, comm.size)
-            else:
-                send = [np.empty((0, 2), dtype=np.uint64) for _ in range(comm.size)]
-        with timer.exchange():
-            received = comm.alltoallv(send)
-        with timer.compute():
-            chunks = [np.asarray(c, dtype=np.uint64) for c in received
-                      if np.asarray(c).size]
-            if chunks:
-                incoming = np.concatenate(chunks, axis=0)
-                occurrences_received += int(incoming.shape[0])
-                meta = incoming[:, 1]
-                occurrences_stored += state.hashtable.add_occurrences(
-                    incoming[:, 0],
-                    (meta >> np.uint64(32)).astype(np.int64),
-                    (meta & np.uint64(0x7FFFFFFF)).astype(np.int64),
-                    ((meta >> np.uint64(31)) & np.uint64(1)).astype(bool),
-                )
+            payload = np.stack([codes, packed_meta], axis=1)
+            return bucket_by_destination(payload, owners, comm.size)
+        return [np.empty((0, 2), dtype=np.uint64) for _ in range(comm.size)]
+
+    def consume(step: int, received: list) -> None:
+        nonlocal occurrences_received, occurrences_stored
+        chunks = [np.asarray(c, dtype=np.uint64) for c in received
+                  if np.asarray(c).size]
+        if chunks:
+            incoming = np.concatenate(chunks, axis=0)
+            occurrences_received += int(incoming.shape[0])
+            meta = incoming[:, 1]
+            occurrences_stored += state.hashtable.add_occurrences(
+                incoming[:, 0],
+                (meta >> np.uint64(32)).astype(np.int64),
+                (meta & np.uint64(0x7FFFFFFF)).astype(np.int64),
+                ((meta >> np.uint64(31)) & np.uint64(1)).astype(bool),
+            )
+
+    schedule = SuperstepSchedule(
+        comm, timer, len(batches),
+        double_buffer=config.stage_double_buffer("hashtable"), label="hashtable",
+    )
+    outcome = schedule.run(produce, consume)
 
     state.hashtable_built = True
     state.work["hashtable"] = float(occurrences_received)
     state.local_bytes["hashtable"] = float(state.hashtable.memory_nbytes())
     state.counters["kmers_received_hashtable"] = occurrences_received
     state.counters["occurrences_stored"] = occurrences_stored
+    state.counters["hashtable_exchange_double_buffered"] = int(outcome.double_buffered)
+    state.counters["hashtable_steps_overlapped"] = outcome.steps_overlapped
 
 
 # ---------------------------------------------------------------------------
@@ -419,16 +428,17 @@ def overlap_stage(comm: SimCommunicator, state: _RankState) -> None:
     Within a shard the pair exchange streams in *bounded chunked supersteps*
     like the k-mer stages: the shard's retained k-mers are split into ranges
     whose pair expansion fits the ``exchange_chunk_mb`` wire budget
-    (:func:`pair_chunk_ranges`), and each superstep generates, packs and
-    ships only one chunk — so the in-flight send buffers stay bounded
-    regardless of how many pairs the partition produces in total.  Every
-    rank runs the same number of supersteps per shard (the global maximum),
-    padding with empty exchanges; each superstep is a full ``alltoallv`` and
-    is traced per chunk, so the cost model sees the same total volume plus
-    the true call count.
+    (:func:`pair_chunk_ranges`), and each superstep — one
+    :class:`~repro.core.supersteps.SuperstepSchedule` instance per shard —
+    generates, packs and ships only one chunk, so the in-flight send buffers
+    stay bounded regardless of how many pairs the partition produces in
+    total.  Every rank runs the same number of supersteps per shard (the
+    global maximum), padding with empty exchanges; each superstep is a full
+    ``alltoallv`` and is traced per chunk, so the cost model sees the same
+    total volume plus the true call count.
 
-    With ``config.double_buffer`` (the default) the supersteps are
-    **double-buffered**: chunk ``i``'s exchange is split into
+    With ``config.stage_double_buffer("overlap")`` (the default) the
+    supersteps are **double-buffered**: chunk ``i``'s exchange is split into
     ``alltoallv_start``/``alltoallv_finish``, and chunk ``i+1`` is generated
     — and published — between the two, while the peers are still reading
     chunk ``i``'s segments.  The generation time spent with an exchange in
@@ -445,6 +455,7 @@ def overlap_stage(comm: SimCommunicator, state: _RankState) -> None:
     assert state.hashtable_built, "hash_table_stage must run before overlap_stage"
 
     n_shards = config.hash_table_shards
+    double_buffer = config.stage_double_buffer("overlap")
     shard_iter = state.hashtable.finalize_shards(
         shard_code_boundaries(config.kmer.k, n_shards),
         min_count=config.min_kmer_count, max_count=state.high_freq_threshold,
@@ -476,6 +487,31 @@ def overlap_stage(comm: SimCommunicator, state: _RankState) -> None:
             send = [np.empty((0, 5), dtype=np.int64) for _ in range(comm.size)]
         return send, len(pairs)
 
+    def consume(step: int, received: list) -> None:
+        received_batches.extend(
+            PairBatch.from_matrix(np.asarray(c)) for c in received
+        )
+
+    def stream_shard(retained: RetainedKmers, chunks: list[tuple[int, int]]):
+        """Run one shard's chunked pair exchange as a schedule instance.
+
+        The produce closure lives only inside this call frame, so the shard
+        it captures is actually freed when the caller drops its reference —
+        a longer-lived closure would silently keep two shards alive at once.
+        """
+        nonlocal pairs_generated
+
+        def produce(step: int) -> list[np.ndarray]:
+            nonlocal pairs_generated
+            send, n_pairs = make_send(retained, chunks, step)
+            pairs_generated += n_pairs
+            return send
+
+        schedule = SuperstepSchedule(
+            comm, timer, len(chunks), double_buffer=double_buffer, label="overlap",
+        )
+        return schedule.run(produce, consume)
+
     for _shard in range(n_shards):
         # Build this shard's slice of the retained table (hash-table stage
         # work, so the build lands in that stage's compute timer), stream its
@@ -492,48 +528,13 @@ def overlap_stage(comm: SimCommunicator, state: _RankState) -> None:
             )
         with timer.compute():
             chunks = pair_chunk_ranges(retained, config.exchange_chunk_bytes)
-        n_supersteps = _global_batch_count(comm, len(chunks))
+        outcome = stream_shard(retained, chunks)
         total_chunks += len(chunks)
-        total_supersteps += n_supersteps
-
-        if bool(config.double_buffer) and n_supersteps > 0:
-            with timer.compute():
-                send, n_pairs = make_send(retained, chunks, 0)
-                pairs_generated += n_pairs
-            with timer.exchange():
-                handle = comm.alltoallv_start(send)
-            for step in range(n_supersteps):
-                next_handle = None
-                if step + 1 < n_supersteps:
-                    # Generate — and publish — chunk step+1 while the peers
-                    # are still reading chunk step's segments.
-                    with timer.overlapped():
-                        next_send, n_pairs = make_send(retained, chunks, step + 1)
-                        pairs_generated += n_pairs
-                        chunks_overlapped += 1
-                    with timer.exchange():
-                        next_handle = comm.alltoallv_start(next_send)
-                with timer.exchange():
-                    received = comm.alltoallv_finish(handle)
-                with timer.compute():
-                    received_batches.extend(
-                        PairBatch.from_matrix(np.asarray(c)) for c in received
-                    )
-                handle = next_handle
-        else:
-            for step in range(n_supersteps):
-                with timer.compute():
-                    send, n_pairs = make_send(retained, chunks, step)
-                    pairs_generated += n_pairs
-                with timer.exchange():
-                    received = comm.alltoallv(send)
-                with timer.compute():
-                    received_batches.extend(
-                        PairBatch.from_matrix(np.asarray(c)) for c in received
-                    )
+        total_supersteps += outcome.n_supersteps
+        chunks_overlapped += outcome.steps_overlapped
         retained = None  # release the shard before building the next one
 
-    use_double_buffer = bool(config.double_buffer) and total_supersteps > 0
+    use_double_buffer = bool(double_buffer) and total_supersteps > 0
 
     with timer.compute():
         incoming = PairBatch.concatenate(received_batches)
@@ -655,15 +656,68 @@ def _unpack_read_block(
     return int(rids.size)
 
 
+def _alignment_task_slices(n_tasks: int,
+                           batch_tasks: int | None) -> list[tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` task ranges, one per fetch/align superstep.
+
+    ``None`` keeps the stage's original shape: one superstep covering every
+    task (and exactly one request/response exchange pair, even when the rank
+    has no tasks — every rank must issue the same collectives).
+    """
+    if batch_tasks is None or n_tasks <= batch_tasks:
+        return [(0, n_tasks)]
+    return [(lo, min(lo + batch_tasks, n_tasks))
+            for lo in range(0, n_tasks, batch_tasks)]
+
+
+def _first_need_requests(
+    tasks: TaskBatch,
+    task_slices: list[tuple[int, int]],
+    to_fetch: np.ndarray,
+) -> list[np.ndarray]:
+    """Partition *to_fetch* by the first task slice that needs each read.
+
+    Every RID is assigned to exactly one superstep — the earliest whose task
+    range references it — so each remote read is requested exactly once and
+    is guaranteed to be cached before any task touching it aligns.  The
+    partition is a pure function of the task batch and the fetch set, so the
+    request payloads (and therefore the trace) are identical across
+    schedules and backends.
+    """
+    if len(task_slices) == 1 or to_fetch.size == 0:
+        return [to_fetch] + [np.empty(0, dtype=np.int64)] * (len(task_slices) - 1)
+    # First task index referencing each RID: sort (rid, task index) pairs by
+    # rid then task index, and take the first position of each fetched RID.
+    all_rids = np.concatenate([tasks.rid_a, tasks.rid_b])
+    all_tidx = np.tile(np.arange(len(tasks), dtype=np.int64), 2)
+    order = np.lexsort((all_tidx, all_rids))
+    sorted_rids = all_rids[order]
+    first_tidx = all_tidx[order][np.searchsorted(sorted_rids, to_fetch)]
+    bounds = np.array([hi for _lo, hi in task_slices], dtype=np.int64)
+    first_slice = np.searchsorted(bounds, first_tidx, side="right")
+    return [to_fetch[first_slice == index] for index in range(len(task_slices))]
+
+
 def alignment_stage(comm: SimCommunicator, state: _RankState) -> BatchAligner:
     """Stage 4: fetch non-local reads, then align every task locally.
 
-    The read fetch is a two-round exchange: RIDs are requested from their
-    owner ranks, and the owners serve the sequences back as typed wire
-    blocks.  With ``config.wire_packing`` (the default) the served blocks
-    are **2-bit packed** (4 bases/byte, :class:`PackedReadBlock`) — cutting
-    the phase's dominant payload ~4x — and the receive side inserts the
-    packed bytes into the cache *without decoding*; the ASCII fallback
+    The read fetch is a **two-hop superstep schedule**
+    (:meth:`~repro.core.supersteps.SuperstepSchedule.run_two_hop`): each
+    superstep requests one task batch's missing reads from their owner ranks
+    (the *request* hop) and the owners serve the sequences back as typed
+    wire blocks (the *response* hop).  With
+    ``config.alignment_batch_tasks`` set, the tasks split into batches and
+    — under double buffering — batch ``i+1``'s requests are already in
+    flight while batch ``i``'s reads are unpacked and aligned; every remote
+    read is still requested exactly once (it is assigned to the first batch
+    that needs it), so the exchanged payloads are identical for every batch
+    size and schedule.  The default (``None``) is the paper's original
+    single request/response round.
+
+    With ``config.wire_packing`` (the default) the served blocks are
+    **2-bit packed** (4 bases/byte, :class:`PackedReadBlock`) — cutting the
+    phase's dominant payload ~4x — and the receive side inserts the packed
+    bytes into the cache *without decoding*; the ASCII fallback
     (``--no-wire-packing`` / ``DIBELLA_WIRE_PACKING=0``) ships
     ``(rids, offsets, bytes)`` exactly as before.  Both layouts are specified
     in ``docs/wire-format.md``; the counters ``read_payload_raw_bytes`` /
@@ -696,49 +750,22 @@ def alignment_stage(comm: SimCommunicator, state: _RankState) -> BatchAligner:
     # Persistent (pooled) caches carry counts from previous runs; report this
     # run's activity as a delta from the entry snapshot.
     cache_counter_base = state.read_cache.counters()
+    cache = state.read_cache
+    tasks = state.tasks
 
     with timer.compute():
-        needed = state.tasks.rids()
+        needed = tasks.rids()
         local_arr = np.asarray(state.local_rids, dtype=np.int64)
         is_local = np.isin(needed, local_arr)
-        local_needed = needed[is_local]
-        for rid in local_needed.tolist():
-            state.read_cache.put(rid, state.readset[rid].sequence)
+        for rid in needed[is_local].tolist():
+            cache.put(rid, state.readset[rid].sequence)
         remote = needed[~is_local]
-        to_fetch = state.read_cache.missing(remote)
-        # Group read requests by the rank owning each read.
-        request_arrays = bucket_by_destination(
-            to_fetch, state.read_owner[to_fetch], comm.size
-        )
-
-    with timer.exchange():
-        incoming_requests = comm.alltoallv(request_arrays)
-
-    with timer.compute():
-        # Serve requested read sequences back to each requesting rank as
-        # typed blocks: 2-bit packed (config.wire_packing, the default) or
-        # ASCII (rids, offsets, bytes).
-        responses = [
-            _build_read_block(np.asarray(incoming_requests[src], dtype=np.int64),
-                              state.readset, state.read_cache,
-                              config.wire_packing)
-            for src in range(comm.size)
-        ]
-        read_payload_raw = 0
-        read_payload_wire = 0
-        for block in responses:
-            raw, wire = _read_block_payload_bytes(block)
-            read_payload_raw += raw
-            read_payload_wire += wire
-
-    with timer.exchange():
-        incoming_reads = comm.alltoallv(responses)
-
-    with timer.compute():
-        for block in incoming_reads:
-            _unpack_read_block(block, state.read_cache)
-
-        sequences = state.read_cache.sequence_view()
+        to_fetch = cache.missing(remote)
+        # Plan the fetch supersteps: contiguous task batches, each remote
+        # read assigned to the first batch needing it.
+        task_slices = _alignment_task_slices(len(tasks), config.alignment_batch_tasks)
+        requests = _first_need_requests(tasks, task_slices, to_fetch)
+        sequences = cache.sequence_view()
         aligner = BatchAligner(
             sequences=sequences,
             kernel=config.kernel,
@@ -747,9 +774,63 @@ def alignment_stage(comm: SimCommunicator, state: _RankState) -> BatchAligner:
             xdrop=config.xdrop,
             band=config.band,
             min_score=config.min_alignment_score,
-            cache=state.read_cache,
+            cache=cache,
         )
-        results = aligner.align_all(state.tasks)
+
+    read_payload_raw = 0
+    read_payload_wire = 0
+    results = []
+
+    def produce(step: int) -> list[np.ndarray]:
+        rids = (requests[step] if step < len(requests)
+                else np.empty(0, dtype=np.int64))
+        if rids.size:
+            # Group read requests by the rank owning each read.
+            return bucket_by_destination(rids, state.read_owner[rids], comm.size)
+        return [np.empty(0, dtype=np.int64) for _ in range(comm.size)]
+
+    def respond(step: int, incoming_requests: list) -> list:
+        # Serve requested read sequences back to each requesting rank as
+        # typed blocks: 2-bit packed (config.wire_packing, the default) or
+        # ASCII (rids, offsets, bytes).
+        nonlocal read_payload_raw, read_payload_wire
+        blocks = [
+            _build_read_block(np.asarray(incoming_requests[src], dtype=np.int64),
+                              state.readset, cache, config.wire_packing)
+            for src in range(comm.size)
+        ]
+        for block in blocks:
+            raw, wire = _read_block_payload_bytes(block)
+            read_payload_raw += raw
+            read_payload_wire += wire
+        return blocks
+
+    def consume(step: int, blocks: list) -> None:
+        for block in blocks:
+            _unpack_read_block(block, cache)
+        if step < len(task_slices):
+            lo, hi = task_slices[step]
+            if hi > lo:
+                batch = TaskBatch(
+                    rid_a=tasks.rid_a[lo:hi],
+                    rid_b=tasks.rid_b[lo:hi],
+                    seed_pos_a=tasks.seed_pos_a[lo:hi],
+                    seed_pos_b=tasks.seed_pos_b[lo:hi],
+                    same_strand=tasks.same_strand[lo:hi],
+                )
+                results.extend(aligner.align_all(batch))
+
+    schedule = SuperstepSchedule(
+        comm, timer, len(task_slices),
+        double_buffer=config.stage_double_buffer("alignment"), label="alignment",
+        # Unbatched, every rank has exactly one (possibly empty) fetch round,
+        # so the step count needs no agreement — and the stage's exchange
+        # pattern stays byte-identical to the original two-round fetch.
+        agree_step_count=config.alignment_batch_tasks is not None,
+    )
+    outcome = schedule.run_two_hop(produce, respond, consume)
+
+    with timer.compute():
         n_results = len(results)
         scores = np.fromiter((r.score for r in results), dtype=np.int64, count=n_results)
         spans_a = np.fromiter((r.span_a for r in results), dtype=np.int64, count=n_results)
@@ -761,7 +842,7 @@ def alignment_stage(comm: SimCommunicator, state: _RankState) -> BatchAligner:
     # the whole cache, which may also hold reads memoised while *serving*
     # peers on the packed path (and, under the pool, previous runs' reads):
     # the cost-model input must not depend on the wire encoding.
-    state.local_bytes["alignment"] = float(state.read_cache.bases_cached(needed))
+    state.local_bytes["alignment"] = float(cache.bases_cached(needed))
     state.counters["alignments"] = aligner.stats.alignments
     state.counters["accepted_alignments"] = aligner.stats.accepted
     state.counters["dp_cells"] = aligner.stats.cells
@@ -772,9 +853,12 @@ def alignment_stage(comm: SimCommunicator, state: _RankState) -> BatchAligner:
     state.counters["read_payload_raw_bytes"] = read_payload_raw
     state.counters["read_payload_wire_bytes"] = read_payload_wire
     state.counters["alignment_wire_packing"] = int(config.wire_packing)
+    state.counters["alignment_fetch_rounds"] = outcome.n_supersteps
+    state.counters["alignment_exchange_double_buffered"] = int(outcome.double_buffered)
+    state.counters["alignment_steps_overlapped"] = outcome.steps_overlapped
     state.counters.update({
         name: value - cache_counter_base.get(name, 0)
-        for name, value in state.read_cache.counters().items()
+        for name, value in cache.counters().items()
     })
 
     state._accepted = (  # type: ignore[attr-defined]

@@ -1,0 +1,324 @@
+"""The unified superstep scheduler: one exchange engine for every stage.
+
+All four pipeline stages are, at heart, the same loop: split the local work
+into chunks, and for each chunk *generate* per-destination send buffers,
+*publish* them with an ``alltoallv``, and *consume* what the peers sent.
+:class:`SuperstepSchedule` owns that loop once — global step-count
+agreement, the double-buffered split-phase schedule (with its
+bulk-synchronous fallback), per-step trace accounting (inherited from the
+communicator), and the exposed-vs-overlapped timer attribution — so the
+stages only provide the produce/consume callbacks.
+
+Two schedule shapes cover the pipeline:
+
+* :meth:`SuperstepSchedule.run` — one exchange per superstep (stages 1-3:
+  the k-mer exchanges and the chunked pair exchange);
+* :meth:`SuperstepSchedule.run_two_hop` — two pipelined exchanges per
+  superstep, a *request* hop answered by a *response* hop (stage 4's
+  remote-read fetch: requests for batch ``i+1`` are in flight while batch
+  ``i``'s reads are unpacked and aligned).
+
+Double buffering is a schedule change, not a semantic one: the payloads a
+consume callback receives, their order, and the trace volumes/call counts
+are bit-identical to the bulk-synchronous path (pinned by
+``tests/test_supersteps.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.mpisim.communicator import SimCommunicator
+
+__all__ = ["StageTimer", "ScheduleOutcome", "SuperstepSchedule"]
+
+#: Generate the per-destination send payloads of one superstep.  Called for
+#: every step in ``[0, n_supersteps)`` including the padding steps past this
+#: rank's local work, which must return empty payloads.
+ProduceFn = Callable[[int], Sequence[Any]]
+
+#: Consume one superstep's received payloads (in source-rank order).
+ConsumeFn = Callable[[int, list[Any]], None]
+
+#: Turn one superstep's received *request* payloads into the *response*
+#: payloads served back (two-hop schedules only).
+RespondFn = Callable[[int, list[Any]], Sequence[Any]]
+
+
+@dataclass
+class StageTimer:
+    """Accumulates compute vs exchange wall time for one stage on one rank.
+
+    ``exchange_seconds`` measures *blocking* communication calls only, so
+    under a double-buffered schedule it is the **exposed** exchange time;
+    ``overlapped_seconds`` measures compute performed while an exchange
+    superstep was in flight (latency the double buffering hid).  The
+    bulk-synchronous path never records overlapped time.
+    """
+
+    compute_seconds: float = 0.0
+    exchange_seconds: float = 0.0
+    overlapped_seconds: float = 0.0
+
+    class _Section:
+        def __init__(self, timer: "StageTimer", attr: str):
+            self._timer = timer
+            self._attr = attr
+            self._start = 0.0
+
+        def __enter__(self) -> "StageTimer._Section":
+            self._start = time.perf_counter()
+            return self
+
+        def __exit__(self, *exc_info: object) -> None:
+            elapsed = time.perf_counter() - self._start
+            setattr(self._timer, self._attr,
+                    getattr(self._timer, self._attr) + elapsed)
+
+    def compute(self) -> "StageTimer._Section":
+        """Context manager timing a local-compute section."""
+        return self._Section(self, "compute_seconds")
+
+    def exchange(self) -> "StageTimer._Section":
+        """Context manager timing a (blocking) communication section."""
+        return self._Section(self, "exchange_seconds")
+
+    def overlapped(self) -> "StageTimer._Section":
+        """Context manager timing compute overlapped with an in-flight exchange."""
+        return self._Section(self, "overlapped_seconds")
+
+
+@dataclass(frozen=True)
+class ScheduleOutcome:
+    """What one schedule run did (feeds the per-stage counters).
+
+    Attributes
+    ----------
+    n_supersteps : int
+        Globally agreed superstep count (the maximum over ranks' local step
+        counts; every rank ran exactly this many exchanges per hop).
+    steps_overlapped : int
+        Number of steps whose produce callback ran while a previous step's
+        exchange was still in flight — the latency the double buffer hid.
+        Zero on the bulk-synchronous path.  A pure function of the step
+        count and the schedule, so it is bit-identical across runtime
+        backends.
+    double_buffered : bool
+        Whether the split-phase schedule actually ran (requested *and* there
+        was at least one superstep).
+    """
+
+    n_supersteps: int
+    steps_overlapped: int
+    double_buffered: bool
+
+
+class SuperstepSchedule:
+    """Runs the generate → publish → consume superstep loop for one stage.
+
+    Parameters
+    ----------
+    comm : SimCommunicator
+        This rank's communicator.  Byte/call accounting happens inside its
+        exchange primitives, so every superstep is traced identically
+        whether or not it is split-phase.
+    timer : StageTimer
+        The stage's wall-clock timer; the schedule attributes produce time
+        to ``compute`` (or ``overlapped`` when an exchange is in flight),
+        blocking communication to ``exchange``, and consume time to
+        ``compute``.
+    n_local_steps : int
+        This rank's local chunk count.  The schedule agrees on the global
+        superstep count with one max-``allreduce`` (every rank must issue
+        the same collectives), so ranks with fewer chunks pad with empty
+        exchanges.
+    double_buffer : bool, optional
+        Run the split-phase schedule: step ``i+1`` is generated — and
+        published via ``alltoallv_start`` — while the peers are still
+        reading step ``i``'s payloads.  The engines double-buffer the
+        in-flight supersteps, so at most :data:`~repro.mpisim.communicator.
+        EXCHANGE_SLOTS` publishes are live per rank.  Off, every superstep
+        is one blocking ``alltoallv``.
+    label : str or None, optional
+        Phase label stamped into the exchange op names
+        (``"alltoallv[label]"``).  Ranks disagreeing on the label — two
+        stages' schedules colliding — raise
+        :class:`~repro.mpisim.errors.CollectiveMismatchError` instead of
+        silently mixing payloads.
+    agree_step_count : bool, optional
+        Agree on the global superstep count with one max-``allreduce``
+        (default).  Pass ``False`` only when ``n_local_steps`` is already
+        provably identical on every rank (e.g. a fixed single-round
+        schedule), which skips the extra collective.
+
+    Notes
+    -----
+    The consume callback always sees superstep ``i``'s payloads before
+    superstep ``i+1``'s, in source-rank order, regardless of the schedule —
+    double buffering changes *when* work happens, never *what* is computed.
+    """
+
+    def __init__(
+        self,
+        comm: SimCommunicator,
+        timer: StageTimer,
+        n_local_steps: int,
+        *,
+        double_buffer: bool = True,
+        label: str | None = None,
+        agree_step_count: bool = True,
+    ) -> None:
+        self.comm = comm
+        self.timer = timer
+        self.label = label
+        # Global step-count agreement: every rank must run the same number
+        # of supersteps (deliberately untimed — schedule bookkeeping, not
+        # stage exchange time).
+        if agree_step_count:
+            self.n_supersteps = int(comm.allreduce(int(n_local_steps), op="max"))
+        else:
+            self.n_supersteps = int(n_local_steps)
+        self.double_buffer = bool(double_buffer)
+
+    @property
+    def double_buffered(self) -> bool:
+        """True when the split-phase schedule actually runs."""
+        return self.double_buffer and self.n_supersteps > 0
+
+    # -- single-hop schedule -------------------------------------------------
+
+    def run(self, produce: ProduceFn, consume: ConsumeFn) -> ScheduleOutcome:
+        """Run every superstep: ``produce(i)`` → exchange → ``consume(i, received)``.
+
+        Parameters
+        ----------
+        produce : ProduceFn
+            ``produce(step)`` returns the per-destination payload list for
+            superstep *step* (empty payloads for padding steps past this
+            rank's local work).
+        consume : ConsumeFn
+            ``consume(step, received)`` processes the payloads received in
+            superstep *step*, in source-rank order.
+
+        Returns
+        -------
+        ScheduleOutcome
+            The agreed superstep count and overlap accounting.
+        """
+        comm, timer = self.comm, self.timer
+        n = self.n_supersteps
+        overlapped = 0
+        if self.double_buffered:
+            with timer.compute():
+                send = produce(0)
+            with timer.exchange():
+                handle = comm.alltoallv_start(send, label=self.label)
+            for step in range(n):
+                next_handle = None
+                if step + 1 < n:
+                    # Generate — and publish — step+1 while the peers are
+                    # still reading step's payloads.
+                    with timer.overlapped():
+                        next_send = produce(step + 1)
+                    overlapped += 1
+                    with timer.exchange():
+                        next_handle = comm.alltoallv_start(next_send,
+                                                           label=self.label)
+                with timer.exchange():
+                    received = comm.alltoallv_finish(handle)
+                with timer.compute():
+                    consume(step, received)
+                handle = next_handle
+        else:
+            for step in range(n):
+                with timer.compute():
+                    send = produce(step)
+                with timer.exchange():
+                    received = comm.alltoallv(send, label=self.label)
+                with timer.compute():
+                    consume(step, received)
+        return ScheduleOutcome(n, overlapped, self.double_buffered)
+
+    # -- two-hop (request/response) schedule -----------------------------------
+
+    def run_two_hop(self, produce: ProduceFn, respond: RespondFn,
+                    consume: ConsumeFn) -> ScheduleOutcome:
+        """Run request/response supersteps, pipelining fetches ahead of consumes.
+
+        Each superstep is two exchanges: the *request* hop ships
+        ``produce(step)`` to the peers, and the *response* hop ships back
+        ``respond(step, requests)``.  Double-buffered, step ``i+1``'s
+        requests are published while step ``i``'s responses are still in
+        flight, and ``consume(i, responses)`` runs with that next fetch
+        outstanding — so (in the alignment stage) batch ``i`` aligns while
+        batch ``i+1``'s remote reads are already on the wire.
+
+        Parameters
+        ----------
+        produce : ProduceFn
+            ``produce(step)`` returns the request payloads for superstep
+            *step* (empty for padding steps).
+        respond : RespondFn
+            ``respond(step, requests)`` serves the received requests,
+            returning the response payloads (one per requesting rank).
+        consume : ConsumeFn
+            ``consume(step, responses)`` processes the served payloads.
+
+        Returns
+        -------
+        ScheduleOutcome
+            The agreed superstep count and overlap accounting
+            (``steps_overlapped`` counts request productions that ran with
+            an exchange in flight, mirroring :meth:`run`).
+        """
+        comm, timer = self.comm, self.timer
+        n = self.n_supersteps
+        overlapped = 0
+        request_label = f"{self.label}:request" if self.label else "request"
+        response_label = f"{self.label}:response" if self.label else "response"
+        if self.double_buffered:
+            with timer.compute():
+                send = produce(0)
+            with timer.exchange():
+                req_handle = comm.alltoallv_start(send, label=request_label)
+            for step in range(n):
+                with timer.exchange():
+                    requests = comm.alltoallv_finish(req_handle)
+                with timer.compute():
+                    responses = respond(step, requests)
+                with timer.exchange():
+                    resp_handle = comm.alltoallv_start(responses,
+                                                       label=response_label)
+                next_req = None
+                if step + 1 < n:
+                    # Publish the next batch's requests while this batch's
+                    # responses are still in flight.
+                    with timer.overlapped():
+                        send = produce(step + 1)
+                    overlapped += 1
+                    with timer.exchange():
+                        next_req = comm.alltoallv_start(send,
+                                                        label=request_label)
+                with timer.exchange():
+                    blocks = comm.alltoallv_finish(resp_handle)
+                # Consuming (unpacking + aligning) batch ``step`` overlaps
+                # batch ``step+1``'s in-flight fetch.
+                section = timer.overlapped() if next_req is not None else timer.compute()
+                with section:
+                    consume(step, blocks)
+                req_handle = next_req
+        else:
+            for step in range(n):
+                with timer.compute():
+                    send = produce(step)
+                with timer.exchange():
+                    requests = comm.alltoallv(send, label=request_label)
+                with timer.compute():
+                    responses = respond(step, requests)
+                with timer.exchange():
+                    blocks = comm.alltoallv(responses, label=response_label)
+                with timer.compute():
+                    consume(step, blocks)
+        return ScheduleOutcome(n, overlapped, self.double_buffered)

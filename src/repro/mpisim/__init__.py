@@ -38,6 +38,7 @@ from repro.mpisim.backend import (
     RuntimeBackend,
     ThreadBackend,
     active_rank_pools,
+    rank_pool_stats,
     resolve_backend,
     shutdown_rank_pools,
 )
@@ -56,6 +57,7 @@ __all__ = [
     "resolve_backend",
     "shutdown_rank_pools",
     "active_rank_pools",
+    "rank_pool_stats",
     "BACKEND_NAMES",
     "spmd_run",
     "SPMDError",

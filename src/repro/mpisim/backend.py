@@ -39,6 +39,7 @@ from multiprocessing.shared_memory import SharedMemory
 from typing import Any, Callable
 
 from repro.mpisim.communicator import (
+    EXCHANGE_SLOTS,
     CombineFn,
     SimCommunicator,
     _CollectiveState,
@@ -55,6 +56,7 @@ __all__ = [
     "resolve_backend",
     "shutdown_rank_pools",
     "active_rank_pools",
+    "rank_pool_stats",
     "BACKEND_NAMES",
 ]
 
@@ -219,18 +221,23 @@ class _ProcessCollectiveEngine:
         self._result_sizes = ctx.Array("q", n_ranks, lock=False)
         self._error_name = ctx.Array("c", _NAME_LEN, lock=False)
         self._error_size = ctx.Value("q", 0, lock=False)
-        # Split-phase exchange: two metadata slot sets (double buffering) plus
-        # per-slot publish/consume sequence arrays, all coordinated through
-        # one Condition — the split-phase fast path never touches the global
+        # Split-phase exchange: one metadata slot set per in-flight superstep
+        # (EXCHANGE_SLOTS of them — the double buffer) plus per-slot
+        # publish/consume sequence arrays, all coordinated through one
+        # Condition — the split-phase fast path never touches the global
         # barrier, so a rank publishes its next superstep while peers are
         # still reading the previous one.
         self._x_cond = ctx.Condition()
         self._x_abort = ctx.Value("b", 0, lock=False)
-        self._x_ops = [ctx.Array("c", n_ranks * _OP_LEN, lock=False) for _ in range(2)]
-        self._x_names = [ctx.Array("c", n_ranks * _NAME_LEN, lock=False) for _ in range(2)]
-        self._x_published = [ctx.Array("q", n_ranks, lock=False) for _ in range(2)]
-        self._x_consumed = [ctx.Array("q", n_ranks, lock=False) for _ in range(2)]
-        for slot in range(2):
+        self._x_ops = [ctx.Array("c", n_ranks * _OP_LEN, lock=False)
+                       for _ in range(EXCHANGE_SLOTS)]
+        self._x_names = [ctx.Array("c", n_ranks * _NAME_LEN, lock=False)
+                         for _ in range(EXCHANGE_SLOTS)]
+        self._x_published = [ctx.Array("q", n_ranks, lock=False)
+                             for _ in range(EXCHANGE_SLOTS)]
+        self._x_consumed = [ctx.Array("q", n_ranks, lock=False)
+                            for _ in range(EXCHANGE_SLOTS)]
+        for slot in range(EXCHANGE_SLOTS):
             for q in range(n_ranks):
                 self._x_published[slot][q] = -1
                 self._x_consumed[slot][q] = -1
@@ -239,8 +246,8 @@ class _ProcessCollectiveEngine:
         self._owned_results: list[SharedMemory] = []
         self._owned_error: SharedMemory | None = None
         # Exchange segments this rank published whose consumption is not yet
-        # proven (seq -> segment); reclaimed two supersteps later or at
-        # shutdown.
+        # proven (seq -> segment); reclaimed EXCHANGE_SLOTS supersteps later
+        # or at shutdown.
         self._x_inflight: dict[int, SharedMemory] = {}
 
     # -- slot helpers --------------------------------------------------------
@@ -287,19 +294,19 @@ class _ProcessCollectiveEngine:
                        seq: int) -> Any:
         """Publish superstep *seq*: write one exchange segment, mark published.
 
-        Blocks only until slot ``seq % 2`` is reusable (every rank consumed
-        superstep ``seq - 2``), at which point this rank's own ``seq - 2``
-        segment is also provably read by everyone and is reclaimed.  Two
-        segments per rank are therefore live at any moment — the double
-        buffer.
+        Blocks only until slot ``seq % EXCHANGE_SLOTS`` is reusable (every
+        rank consumed superstep ``seq - EXCHANGE_SLOTS``), at which point
+        this rank's own ``seq - EXCHANGE_SLOTS`` segment is also provably
+        read by everyone and is reclaimed.  EXCHANGE_SLOTS segments per rank
+        are therefore live at any moment — the double buffer.
         """
-        slot = seq % 2
+        slot = seq % EXCHANGE_SLOTS
         blobs = [encode_payload(item) for item in send]
         self._x_wait(
-            lambda: all(self._x_consumed[slot][q] >= seq - 2
+            lambda: all(self._x_consumed[slot][q] >= seq - EXCHANGE_SLOTS
                         for q in range(self.n_ranks))
         )
-        stale = self._x_inflight.pop(seq - 2, None)
+        stale = self._x_inflight.pop(seq - EXCHANGE_SLOTS, None)
         if stale is not None:
             self._destroy(stale)
         shm, _payload_size = self._write_exchange_segment(blobs)
@@ -318,7 +325,7 @@ class _ProcessCollectiveEngine:
     def exchange_finish(self, rank: int, token: Any) -> list:
         """Collect superstep *token*'s payloads once every rank has published."""
         seq, own_blob = token
-        slot = seq % 2
+        slot = seq % EXCHANGE_SLOTS
         self._x_wait(
             lambda: all(self._x_published[slot][q] >= seq
                         for q in range(self.n_ranks))
@@ -349,7 +356,9 @@ class _ProcessCollectiveEngine:
 
     def execute(self, rank: int, op_name: str, contribution: Any,
                 combine: CombineFn) -> Any:
-        is_exchange = op_name in ("alltoall", "alltoallv")
+        # Exchange ops may carry a phase label ("alltoallv[overlap]"); the
+        # base name before the label selects the destination-direct path.
+        is_exchange = op_name.split("[", 1)[0] in ("alltoall", "alltoallv")
         if is_exchange:
             blobs = [encode_payload(item) for item in contribution]
             shm, payload_size = self._write_exchange_segment(blobs)
@@ -532,16 +541,16 @@ class _ProcessCollectiveEngine:
     def shutdown(self) -> None:
         """Final cleanup at the end of a rank program (or of one pooled job).
 
-        The last two split-phase supersteps' segments are still in flight
-        here, and a fast rank can reach shutdown while a slow peer is still
-        reading them — so each is reclaimed only once every rank has marked
-        it consumed.  On an aborted run the wait short-circuits and the
-        segments are reclaimed unconditionally (the peers are aborting too,
-        and a leaked segment would outlive the process).
+        The last EXCHANGE_SLOTS split-phase supersteps' segments are still
+        in flight here, and a fast rank can reach shutdown while a slow peer
+        is still reading them — so each is reclaimed only once every rank
+        has marked it consumed.  On an aborted run the wait short-circuits
+        and the segments are reclaimed unconditionally (the peers are
+        aborting too, and a leaked segment would outlive the process).
         """
         self._release_owned()
         for seq in sorted(self._x_inflight):
-            slot = seq % 2
+            slot = seq % EXCHANGE_SLOTS
             try:
                 self._x_wait(
                     lambda slot=slot, seq=seq: all(
@@ -563,7 +572,7 @@ class _ProcessCollectiveEngine:
         previous run's publish/consume marks would satisfy the new run's
         predicates early and let a rank read stale metadata.
         """
-        for slot in range(2):
+        for slot in range(EXCHANGE_SLOTS):
             for q in range(self.n_ranks):
                 self._x_published[slot][q] = -1
                 self._x_consumed[slot][q] = -1
@@ -934,6 +943,21 @@ def active_rank_pools() -> int:
     """Number of live rank pools (tests and diagnostics)."""
     with _POOLS_LOCK:
         return len(_POOLS)
+
+
+def rank_pool_stats() -> list[dict[str, int | str]]:
+    """Per-pool usage statistics (bench sweeps report these).
+
+    Returns one entry per live pool with its start method, rank count, and
+    the number of ``spmd_run`` invocations it has served — the forks the
+    pool amortised are ``(runs_completed - 1) * n_ranks`` per pool.
+    """
+    with _POOLS_LOCK:
+        return [
+            {"start_method": start_method, "n_ranks": n_ranks,
+             "runs_completed": pool.runs_completed}
+            for (start_method, n_ranks), pool in _POOLS.items()
+        ]
 
 
 def shutdown_rank_pools() -> None:

@@ -46,6 +46,28 @@ CombineFn = Callable[[list[Any]], list[Any]]
 #: declaring the run wedged (same knob as the engine barrier timeout).
 _EXCHANGE_TIMEOUT = float(os.environ.get("DIBELLA_BARRIER_TIMEOUT", "600"))
 
+#: Number of split-phase exchange supersteps that may be in flight per rank.
+#: Both engines keep one deposit-slot set per in-flight superstep, selected
+#: by ``seq % EXCHANGE_SLOTS``; ``alltoallv_start`` for superstep ``seq``
+#: blocks until every rank consumed superstep ``seq - EXCHANGE_SLOTS``.  Two
+#: slots are the classic double buffer and enough for every pipeline
+#: schedule (the two-hop request/response schedule keeps at most one
+#: response and one request outstanding); the engines are written against
+#: this constant, so deeper pipelines only need a bigger value here.
+EXCHANGE_SLOTS = 2
+
+
+def exchange_op_name(base: str, label: str | None) -> str:
+    """The engine op name of an exchange, phase-labelled when *label* is set.
+
+    Labelled ops (``"alltoallv[overlap]"``) make schedule collisions
+    loud: if two ranks reach different stages' exchanges — or a two-hop
+    schedule's request and response hops get out of step — the engines'
+    op-name validation raises :class:`CollectiveMismatchError` instead of
+    silently handing one stage's payloads to another.
+    """
+    return base if label is None else f"{base}[{label}]"
+
 
 class CollectiveEngine(Protocol):
     """Transport protocol underneath :class:`SimCommunicator`.
@@ -82,12 +104,15 @@ class ExchangeHandle:
 
     ``token`` is engine-specific state; ``result`` is only populated on the
     synchronous fallback path (engines without split-phase support), in which
-    case ``alltoallv_finish`` simply hands it back.
+    case ``alltoallv_finish`` simply hands it back.  ``label`` is the phase
+    label the exchange was started under (diagnostics; the engines validate
+    it as part of the op name).
     """
 
     op_name: str
     token: Any = None
     result: list[Any] | None = None
+    label: str | None = None
 
 
 class _CollectiveState:
@@ -105,15 +130,18 @@ class _CollectiveState:
         self.contributions: list[Any] = [None] * n_ranks
         self.results: list[Any] = [None] * n_ranks
         self.error: BaseException | None = None
-        # Split-phase exchange state: two deposit slots (double buffering) and
-        # per-slot publish/consume sequence numbers guarded by one Condition —
-        # the exchange fast path never touches the global barrier.
+        # Split-phase exchange state: one deposit-slot set per in-flight
+        # superstep (EXCHANGE_SLOTS of them — the double buffer) and per-slot
+        # publish/consume sequence numbers guarded by one Condition — the
+        # exchange fast path never touches the global barrier.
         self._x_cond = threading.Condition()
         self._x_aborted = False
-        self._x_ops: list[list[str | None]] = [[None] * n_ranks, [None] * n_ranks]
-        self._x_contribs: list[list[Any]] = [[None] * n_ranks, [None] * n_ranks]
-        self._x_published = [[-1] * n_ranks, [-1] * n_ranks]
-        self._x_consumed = [[-1] * n_ranks, [-1] * n_ranks]
+        self._x_ops: list[list[str | None]] = [
+            [None] * n_ranks for _ in range(EXCHANGE_SLOTS)]
+        self._x_contribs: list[list[Any]] = [
+            [None] * n_ranks for _ in range(EXCHANGE_SLOTS)]
+        self._x_published = [[-1] * n_ranks for _ in range(EXCHANGE_SLOTS)]
+        self._x_consumed = [[-1] * n_ranks for _ in range(EXCHANGE_SLOTS)]
 
     def abort(self) -> None:
         """Break the barrier so ranks blocked in a collective terminate."""
@@ -137,12 +165,14 @@ class _CollectiveState:
                        seq: int) -> Any:
         """Publish this rank's superstep-*seq* contribution; no global barrier.
 
-        Blocks only until slot ``seq % 2`` is reusable — every rank has
-        consumed superstep ``seq - 2`` (trivially true for the first two
-        supersteps) — which is what bounds a rank to two live contributions.
+        Blocks only until slot ``seq % EXCHANGE_SLOTS`` is reusable — every
+        rank has consumed superstep ``seq - EXCHANGE_SLOTS`` (trivially true
+        for the first EXCHANGE_SLOTS supersteps) — which is what bounds a
+        rank to EXCHANGE_SLOTS live contributions.
         """
-        slot = seq % 2
-        self._x_wait(lambda: all(c >= seq - 2 for c in self._x_consumed[slot]))
+        slot = seq % EXCHANGE_SLOTS
+        self._x_wait(lambda: all(c >= seq - EXCHANGE_SLOTS
+                                 for c in self._x_consumed[slot]))
         with self._x_cond:
             self._x_ops[slot][rank] = op_name
             self._x_contribs[slot][rank] = send
@@ -153,7 +183,7 @@ class _CollectiveState:
     def exchange_finish(self, rank: int, token: Any) -> list[Any]:
         """Collect superstep *token*'s payloads once every rank has published."""
         seq = token
-        slot = seq % 2
+        slot = seq % EXCHANGE_SLOTS
         self._x_wait(lambda: all(p >= seq for p in self._x_published[slot]))
         names = {self._x_ops[slot][q] for q in range(self.n_ranks)}
         if len(names) != 1:
@@ -328,21 +358,25 @@ class SimCommunicator:
             raise ValueError(f"alltoall needs {self.size} items, got {len(send)}")
         return self._exchange("alltoall", send)
 
-    def alltoallv(self, send: Sequence[Any]) -> list[Any]:
+    def alltoallv(self, send: Sequence[Any], label: str | None = None) -> list[Any]:
         """Irregular personalised exchange (variable-size payload per destination).
 
         ``send[d]`` is the payload this rank sends to rank ``d`` (any object;
         numpy arrays are the fast path).  The return value is a list where
-        entry ``s`` is the payload received from rank ``s``.
+        entry ``s`` is the payload received from rank ``s``.  ``label``
+        optionally phase-labels the op name (see :func:`exchange_op_name`)
+        so schedules from different stages can never be confused for one
+        another by the mismatch detection.
         """
         send = list(send)
         if len(send) != self.size:
             raise ValueError(f"alltoallv needs {self.size} payloads, got {len(send)}")
-        return self._exchange("alltoallv", send)
+        return self._exchange(exchange_op_name("alltoallv", label), send)
 
     # -- split-phase exchange ------------------------------------------------------
 
-    def alltoallv_start(self, send: Sequence[Any]) -> ExchangeHandle:
+    def alltoallv_start(self, send: Sequence[Any],
+                        label: str | None = None) -> ExchangeHandle:
         """Begin an ``alltoallv`` without blocking for the peers' reads.
 
         Publishes this rank's per-destination payloads and returns an
@@ -350,8 +384,10 @@ class SimCommunicator:
         collects the received payloads.  Between the two calls the rank may
         compute — that compute overlaps the peers still publishing or reading
         this superstep — and may even start the *next* exchange (the engines
-        double-buffer exactly two supersteps per rank).  Both calls must be
-        issued in the same order on every rank, like any collective.
+        keep :data:`EXCHANGE_SLOTS` supersteps in flight per rank).  Both
+        calls must be issued in the same order on every rank, like any
+        collective; a ``label`` stamps the phase into the op name so
+        colliding schedules raise instead of mixing payloads.
 
         Byte/call accounting is identical to :meth:`alltoallv`, so a streamed
         exchange traces the same volumes and call counts whether or not it is
@@ -360,17 +396,18 @@ class SimCommunicator:
         send = list(send)
         if len(send) != self.size:
             raise ValueError(f"alltoallv needs {self.size} payloads, got {len(send)}")
+        op_name = exchange_op_name("alltoallv", label)
         self._record_exchange(send)
         start = getattr(self._engine, "exchange_start", None)
         if start is None:
             # Engine without split-phase support: degrade to the synchronous
             # collective and hand the result through the handle.
-            result = self._collective("alltoallv", send, self._transpose_combine())
-            return ExchangeHandle(op_name="alltoallv", result=result)
+            result = self._collective(op_name, send, self._transpose_combine())
+            return ExchangeHandle(op_name=op_name, result=result, label=label)
         seq = self._xchg_seq
         self._xchg_seq += 1
-        token = start(self.rank, "alltoallv", send, seq)
-        return ExchangeHandle(op_name="alltoallv", token=token)
+        token = start(self.rank, op_name, send, seq)
+        return ExchangeHandle(op_name=op_name, token=token, label=label)
 
     def alltoallv_finish(self, handle: ExchangeHandle) -> list[Any]:
         """Complete a split-phase exchange; returns payloads in source-rank order."""

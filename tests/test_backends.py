@@ -562,8 +562,14 @@ class TestPipelineParityMatrix:
         assert db.counters["overlap_exchange_double_buffered"] > 0
         assert db.stage("overlap").wall_overlapped_seconds.sum() > 0.0
         assert sync.stage("overlap").wall_overlapped_seconds.sum() == 0.0
-        # Counters other than the schedule flags are unaffected.
-        keys = set(db.counters) - {"overlap_exchange_double_buffered",
-                                   "overlap_chunks_overlapped"}
+        # Counters other than the schedule flags (every stage records its
+        # own pair under the unified superstep scheduler) are unaffected.
+        schedule_flags = {
+            f"{stage}_{suffix}"
+            for stage in ("bloom", "hashtable", "overlap", "alignment")
+            for suffix in ("exchange_double_buffered", "steps_overlapped",
+                           "chunks_overlapped")
+        }
+        keys = set(db.counters) - schedule_flags
         for key in keys:
             assert db.counters[key] == sync.counters[key], key

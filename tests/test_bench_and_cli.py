@@ -76,6 +76,38 @@ class TestHarness:
         tiny_harness.clear()
         assert tiny_harness._runs == {}
 
+    def test_pooled_sweep_runs_are_cache_isolated(self, tiny_harness):
+        """Two pooled runs over the same reads must not share read caches.
+
+        Pool routing amortises worker startup only: the second run reuses
+        the first run's parked rank processes, but its per-run cache
+        namespace makes those processes evict the previous run's read
+        caches — so its measured fetch counters (and exchange volumes) are
+        exactly what a cold run would record.
+        """
+        from repro.mpisim.backend import rank_pool_stats, shutdown_rank_pools
+
+        pooled = ExperimentHarness(workloads=tiny_harness.workloads, pool=True)
+        shutdown_rank_pools()
+        # Force the process backend regardless of DIBELLA_BACKEND.
+        base_config_for = pooled._config_for
+        pooled._config_for = lambda name, strategy: (
+            base_config_for(name, strategy).with_backend("process"))
+        try:
+            first = pooled.run("ecoli30x_sample", "one-seed", n_nodes=2)
+            second = pooled.run("ecoli30x_sample", "d=1000", n_nodes=2)
+            stats = rank_pool_stats()
+            assert stats and stats[0]["runs_completed"] == 2  # pool reused
+            assert first.counters["remote_reads_fetched"] > 0
+            assert (second.counters["remote_reads_fetched"]
+                    == first.counters["remote_reads_fetched"])
+            assert second.counters["read_cache_fetch_hits"] == 0
+            report = pooled.pool_report()
+            assert report["pooled_runs"] == 2
+            assert report["forks_avoided"] > 0
+        finally:
+            shutdown_rank_pools()
+
 
 class TestReporting:
     ROWS = [

@@ -39,6 +39,12 @@ cores.  Two measurements:
   host, always enforced): the packed read payload must be ≤ 0.3x the raw
   bytes, with bit-identical scientific output.
 
+* **Serve-latency gate** — warm query batches drained against a resident
+  index (build/serve split, pooled process backend) vs a cold one-shot
+  pipeline over the same union read set.  Every batch must reuse the
+  resident index (zero rebuild counters, always asserted); on hosts with
+  enough cores the batch p99 wall must be well under the cold run.
+
 * **Pool-amortisation gate** — two consecutive pooled pipeline runs: the
   first pays pool creation (fork + queue setup) and cold read caches, the
   second must be faster (and fetch zero remote reads — its rank processes
@@ -417,6 +423,83 @@ def run_pool_gate() -> dict[str, float]:
     }
 
 
+# ---------------------------------------------------------------------------
+# Part 6: the serve-latency gate
+# ---------------------------------------------------------------------------
+
+#: Required ratio of warm query-batch p99 latency to the cold one-shot wall.
+#: A served batch routes only the query reads' k-mers against the resident
+#: index (no bloom pass, no table rebuild, warm read caches), so it must be
+#: well under a cold full-pipeline run over the same union read set.
+MAX_SERVE_P99_RATIO = 0.5
+
+
+def run_serve_gate() -> dict[str, float]:
+    """Warm query batches against a resident index vs a cold one-shot run.
+
+    Builds the index once on a pooled process-backend service, drains three
+    query batches, and compares the batch p99 wall to a cold one-shot
+    pipeline over (index + query).  Every batch must reuse the resident
+    index (zero rebuild counters) — asserted unconditionally; the latency
+    gate is enforced only on hosts with enough cores.
+    """
+    from repro.core import AlignmentService
+    from repro.core.stages import reset_persistent_read_caches, reset_resident_indexes
+    from repro.mpisim.backend import shutdown_rank_pools
+    from repro.seq.records import ReadSet
+
+    genome_length = int(os.environ.get("REPRO_BENCH_POOL_GENOME", "5000"))
+    spec = DatasetSpec(
+        name="serve-latency",
+        genome=GenomeSpec(length=genome_length, repeat_fraction=0.02,
+                          repeat_length=300, seed=299),
+        reads=ReadSimSpec(coverage=30.0, mean_read_length=1000,
+                          min_read_length=400, error_rate=0.10, seed=300),
+    )
+    reads = list(generate_dataset(spec).reads)
+    n_index = (3 * len(reads)) // 4
+    index_reads, queries = ReadSet(reads[:n_index]), reads[n_index:]
+    config = PipelineConfig(coverage_hint=30.0, error_rate_hint=0.10,
+                            kmer=KmerSpec(k=17), backend="process", pool=True)
+    shutdown_rank_pools()
+    reset_persistent_read_caches()
+    reset_resident_indexes()
+    try:
+        start = time.perf_counter()
+        run_dibella(ReadSet(reads), config=config.with_pool(False),
+                    n_nodes=1, ranks_per_node=RANKS)
+        cold_wall = time.perf_counter() - start
+
+        n_batches = 3
+        per_batch = max(1, (len(queries) + n_batches - 1) // n_batches)
+        service = AlignmentService(
+            index_reads, config=config.with_serve_batch_reads(per_batch))
+        service.build()
+        for lo in range(0, len(queries), per_batch):
+            service.submit(queries[lo:lo + per_batch])
+        records = service.drain()
+        assert len(records) >= 2, "serve gate produced fewer than 2 query batches"
+        for record in records:
+            counters = record.result.counters
+            assert counters["index_reuse_hits"] == RANKS, \
+                "a serve-gate query batch missed the resident index"
+            assert counters.get("index_build_runs", 0) == 0, \
+                "a serve-gate query batch rebuilt the index"
+        stats = service.latency_stats()
+    finally:
+        shutdown_rank_pools()
+        reset_persistent_read_caches()
+        reset_resident_indexes()
+    return {
+        "serve_cold_oneshot_seconds": cold_wall,
+        "serve_batches": stats["batches"],
+        "serve_batch_p50_seconds": stats["p50_seconds"],
+        "serve_batch_p99_seconds": stats["p99_seconds"],
+        "serve_reads_per_second": stats["reads_per_second"],
+        "serve_p99_ratio": stats["p99_seconds"] / max(cold_wall, 1e-12),
+    }
+
+
 def run_bench() -> dict[str, float]:
     metrics = {
         "ranks": float(RANKS),
@@ -428,6 +511,7 @@ def run_bench() -> dict[str, float]:
     metrics.update(run_kmer_stage_gate())
     metrics.update(run_wire_packing_gate())
     metrics.update(run_pool_gate())
+    metrics.update(run_serve_gate())
     return metrics
 
 
@@ -488,6 +572,14 @@ def format_report(metrics: dict[str, float]) -> str:
         f"({metrics['pool_amortization']:.2f}x, {metrics['pool_warm_fetch_hits']:.0f} "
         f"cross-run read-cache fetch hits; gate > 1.0 "
         + ("enforced)" if gate_active else "not enforced on this host)"),
+        f"serve-latency gate ({metrics['serve_batches']:.0f} query batches "
+        f"against the resident index, process backend + pool):",
+        f"  cold one-shot {metrics['serve_cold_oneshot_seconds']:.3f}s; warm "
+        f"batch p50 {metrics['serve_batch_p50_seconds'] * 1e3:.1f}ms, p99 "
+        f"{metrics['serve_batch_p99_seconds'] * 1e3:.1f}ms "
+        f"({metrics['serve_reads_per_second']:.0f} reads/s; p99 ratio "
+        f"{metrics['serve_p99_ratio']:.3f}, gate <= {MAX_SERVE_P99_RATIO:.2f} "
+        + ("enforced)" if gate_active else "not enforced on this host)"),
     ])
     return "\n".join(lines)
 
@@ -525,5 +617,12 @@ if __name__ == "__main__":
             f"FAIL: second pooled run ({bench_metrics['pool_warm_seconds']:.3f}s) "
             f"was not faster than the cold run "
             f"({bench_metrics['pool_cold_seconds']:.3f}s)"
+        )
+    if gate_enforced and bench_metrics["serve_p99_ratio"] > MAX_SERVE_P99_RATIO:
+        sys.exit(
+            f"FAIL: warm query-batch p99 "
+            f"({bench_metrics['serve_batch_p99_seconds']:.3f}s) is "
+            f"{bench_metrics['serve_p99_ratio']:.3f}x the cold one-shot wall "
+            f"(gate <= {MAX_SERVE_P99_RATIO:.2f})"
         )
     print("PASS")

@@ -1,0 +1,149 @@
+"""Serve-phase latency: query-batch p50/p99 and throughput vs rank count.
+
+The build/serve split exists so one resident index can answer many query
+batches without rebuilding; this bench measures what that buys.  For each
+rank count it builds an :class:`~repro.core.service.AlignmentService` over
+75% of a synthetic 30x data set (pooled process backend), drains the
+remaining reads as several query batches, and records:
+
+* per-batch wall latency p50 / p99 (the numbers a long-lived alignment
+  service would put an SLO on),
+* served reads per second,
+* the cold one-shot pipeline wall over the same union read set, as the
+  "rebuild every time" reference point.
+
+Every drained batch is asserted to have reused the resident index (zero
+rebuild counters) — on any host; the timing itself is reporting only, the
+enforced latency gate lives in ``bench_backend_scaling.py``.
+
+Runs under pytest (``python -m pytest benchmarks/bench_serve_latency.py``)
+or standalone (``python benchmarks/bench_serve_latency.py``); rows land in
+``benchmarks/results/serve_latency.txt``.  Environment knobs:
+``REPRO_BENCH_SERVE_RANKS`` (comma list, default ``2,4``),
+``REPRO_BENCH_SERVE_GENOME`` (default 8000 bp),
+``REPRO_BENCH_SERVE_BATCHES`` (default 4).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import AlignmentService, PipelineConfig
+from repro.core.driver import run_dibella
+from repro.core.stages import reset_persistent_read_caches, reset_resident_indexes
+from repro.data.datasets import DatasetSpec, generate_dataset
+from repro.data.genome import GenomeSpec
+from repro.data.reads import ReadSimSpec
+from repro.mpisim.backend import shutdown_rank_pools
+from repro.mpisim.topology import Topology
+from repro.seq.kmer import KmerSpec
+from repro.seq.records import ReadSet
+
+RANK_COUNTS = tuple(
+    int(r) for r in os.environ.get("REPRO_BENCH_SERVE_RANKS", "2,4").split(","))
+GENOME_LENGTH = int(os.environ.get("REPRO_BENCH_SERVE_GENOME", "8000"))
+N_BATCHES = int(os.environ.get("REPRO_BENCH_SERVE_BATCHES", "4"))
+
+
+def _workload():
+    spec = DatasetSpec(
+        name="serve-latency-bench",
+        genome=GenomeSpec(length=GENOME_LENGTH, repeat_fraction=0.02,
+                          repeat_length=300, seed=399),
+        reads=ReadSimSpec(coverage=30.0, mean_read_length=1000,
+                          min_read_length=400, error_rate=0.10, seed=400),
+    )
+    reads = list(generate_dataset(spec).reads)
+    n_index = (3 * len(reads)) // 4
+    return ReadSet(reads[:n_index]), reads[n_index:], ReadSet(reads)
+
+
+def measure_serve_latency() -> list[dict[str, float]]:
+    index_reads, queries, union = _workload()
+    per_batch = max(1, (len(queries) + N_BATCHES - 1) // N_BATCHES)
+    rows: list[dict[str, float]] = []
+    for ranks in RANK_COUNTS:
+        config = PipelineConfig(coverage_hint=30.0, error_rate_hint=0.10,
+                                kmer=KmerSpec(k=17), backend="process",
+                                pool=True, serve_batch_reads=per_batch)
+        shutdown_rank_pools()
+        reset_persistent_read_caches()
+        reset_resident_indexes()
+        try:
+            start = time.perf_counter()
+            run_dibella(union, config=config.with_pool(False), n_nodes=1,
+                        ranks_per_node=ranks)
+            cold_wall = time.perf_counter() - start
+
+            service = AlignmentService(index_reads, config=config,
+                                       topology=Topology.single_node(ranks))
+            start = time.perf_counter()
+            service.build()
+            build_wall = time.perf_counter() - start
+            for lo in range(0, len(queries), per_batch):
+                service.submit(queries[lo:lo + per_batch])
+            records = service.drain()
+            for record in records:
+                counters = record.result.counters
+                assert counters["index_reuse_hits"] == ranks, \
+                    "a query batch missed the resident index"
+                assert counters.get("index_build_runs", 0) == 0, \
+                    "a query batch rebuilt the index"
+            stats = service.latency_stats()
+        finally:
+            shutdown_rank_pools()
+            reset_persistent_read_caches()
+            reset_resident_indexes()
+        rows.append({
+            "ranks": float(ranks),
+            "batches": stats["batches"],
+            "query_reads": stats["reads"],
+            "p50_ms": stats["p50_seconds"] * 1e3,
+            "p99_ms": stats["p99_seconds"] * 1e3,
+            "reads_per_second": stats["reads_per_second"],
+            "build_seconds": build_wall,
+            "cold_oneshot_seconds": cold_wall,
+        })
+    return rows
+
+
+def format_report(rows: list[dict[str, float]]) -> str:
+    lines = [
+        "serve latency: warm query batches against a resident index "
+        f"({GENOME_LENGTH} bp genome, 30x, process backend + pool)",
+        f"  {'ranks':>5} {'batches':>7} {'reads':>6} {'p50':>9} {'p99':>9} "
+        f"{'reads/s':>8} {'build':>8} {'cold 1-shot':>11}",
+    ]
+    for row in rows:
+        lines.append(
+            f"  {row['ranks']:>5.0f} {row['batches']:>7.0f} "
+            f"{row['query_reads']:>6.0f} {row['p50_ms']:>7.1f}ms "
+            f"{row['p99_ms']:>7.1f}ms {row['reads_per_second']:>8.0f} "
+            f"{row['build_seconds']:>7.3f}s {row['cold_oneshot_seconds']:>10.3f}s"
+        )
+    return "\n".join(lines)
+
+
+def test_serve_latency():
+    from conftest import record_rows
+
+    rows = measure_serve_latency()
+    record_rows("serve_latency", format_report(rows))
+    assert rows, "no rank counts measured"
+    for row in rows:
+        assert row["batches"] >= 2
+        assert row["p99_ms"] >= row["p50_ms"] > 0.0
+
+
+if __name__ == "__main__":
+    report = format_report(measure_serve_latency())
+    print(report)
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "serve_latency.txt").write_text(report + "\n",
+                                                   encoding="ascii")

@@ -12,6 +12,10 @@
 #           the ASCII read-exchange fallback stays exercised, and with
 #           double buffering disabled (DIBELLA_DOUBLE_BUFFER=0) so every
 #           stage's bulk-synchronous superstep schedule stays exercised.
+#   serve — build/serve smoke (scripts/serve_smoke.py): build a resident
+#           index on a pooled process backend, drain two query batches,
+#           assert zero rebuild counters.  Pure counter checks, runs on
+#           every change.
 #   slow  — the end-to-end pipeline / harness / baseline tests, also under
 #           both runtime backends.
 #   bench — the perf gates: the overlap microbenchmark (pair generation,
@@ -19,7 +23,9 @@
 #           backend scaling bench (process-backend overlap-stage speedup,
 #           double-buffered exposed-exchange reduction for the overlap and
 #           k-mer stages, pool amortisation — enforced only on hosts with
-#           enough cores — and the wire-packing byte gate: packed alignment
+#           enough cores — the serve-latency gate: warm query-batch p99
+#           well under the cold one-shot wall, zero rebuilds always
+#           asserted — and the wire-packing byte gate: packed alignment
 #           read payload <= 0.3x raw, always enforced).
 #
 # Usage:
@@ -48,6 +54,9 @@ DIBELLA_WIRE_PACKING=0 python -m pytest tests -m "not slow" -q
 
 echo "== fast tier: unit tests (bulk-synchronous supersteps, DIBELLA_DOUBLE_BUFFER=0) =="
 DIBELLA_DOUBLE_BUFFER=0 python -m pytest tests -m "not slow" -q
+
+echo "== serve smoke: resident index, 2 query batches, zero rebuilds =="
+python scripts/serve_smoke.py
 
 if [ "$tier" = "all" ]; then
     echo "== slow tier: end-to-end pipeline tests (thread backend) =="

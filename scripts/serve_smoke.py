@@ -1,0 +1,92 @@
+"""CI smoke for the build/serve split: build once, serve twice, rebuild never.
+
+Builds a resident index over 75% of a tiny synthetic data set (pooled
+process backend), drains two query batches through
+:class:`~repro.core.service.AlignmentService`, and asserts the residency
+contract:
+
+* every batch reports ``index_reuse_hits`` from all ranks and zero
+  ``index_build_runs``;
+* no batch moves any stage-1/2 build traffic (``kmers_received_bloom`` and
+  ``kmers_received_hashtable`` both zero);
+* both batches produce alignments (the serve path does real work, it is
+  not vacuously "fast").
+
+Pure counter checks — deterministic on any host, so ``ci.sh`` runs this on
+every change (no timing, unlike the serve-latency gate in
+``benchmarks/bench_backend_scaling.py``).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import AlignmentService, PipelineConfig
+from repro.core.stages import reset_persistent_read_caches, reset_resident_indexes
+from repro.data.datasets import DatasetSpec, generate_dataset
+from repro.data.genome import GenomeSpec
+from repro.data.reads import ReadSimSpec
+from repro.mpisim.backend import shutdown_rank_pools
+from repro.mpisim.topology import Topology
+from repro.seq.kmer import KmerSpec
+from repro.seq.records import ReadSet
+
+RANKS = 4
+
+
+def main() -> int:
+    spec = DatasetSpec(
+        name="serve-smoke",
+        genome=GenomeSpec(length=4000, repeat_fraction=0.0, seed=77),
+        reads=ReadSimSpec(coverage=15.0, mean_read_length=900,
+                          min_read_length=400, error_rate=0.08, seed=78),
+    )
+    reads = list(generate_dataset(spec).reads)
+    n_index = (3 * len(reads)) // 4
+    queries = reads[n_index:]
+    assert len(queries) >= 2, "smoke data set too small to form 2 query batches"
+
+    config = PipelineConfig(kmer=KmerSpec(k=15), coverage_hint=15.0,
+                            error_rate_hint=0.08, backend="process", pool=True)
+    service = AlignmentService(ReadSet(reads[:n_index]), config=config,
+                               topology=Topology.single_node(RANKS))
+    try:
+        build = service.build()
+        print(f"serve smoke: index built ({build.counters['index_retained_kmers']} "
+              f"retained k-mers on {RANKS} ranks)")
+        half = len(queries) // 2
+        service.submit(queries[:half])
+        records = service.drain()
+        service.submit(queries[half:])
+        records += service.drain()
+        assert len(records) == 2, f"expected 2 query batches, got {len(records)}"
+        for record in records:
+            counters = record.result.counters
+            label = f"batch {record.batch_index}"
+            assert counters["index_reuse_hits"] == RANKS, \
+                f"{label}: expected {RANKS} index reuse hits, " \
+                f"got {counters.get('index_reuse_hits', 0)}"
+            assert counters.get("index_build_runs", 0) == 0, \
+                f"{label}: rebuilt the index"
+            assert counters.get("kmers_received_bloom", 0) == 0, \
+                f"{label}: moved bloom-stage build traffic"
+            assert counters.get("kmers_received_hashtable", 0) == 0, \
+                f"{label}: refilled the hash table"
+            assert counters["accepted_alignments"] > 0, \
+                f"{label}: produced no alignments"
+            print(f"serve smoke: {label} ok ({record.n_reads} reads, "
+                  f"{counters['accepted_alignments']} alignments, "
+                  f"reuse={counters['index_reuse_hits']}, rebuilds=0)")
+    finally:
+        service.shutdown()
+        reset_persistent_read_caches()
+        reset_resident_indexes()
+    print("serve smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

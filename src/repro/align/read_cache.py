@@ -18,6 +18,16 @@ and its encoded buffer are worth caching per rank:
 Hit/miss counters cover the encoded-buffer lookups (the per-task hot path);
 ``fetch_hits`` counts remote fetches avoided because the sequence was already
 present.  The pipeline surfaces all three in the run's counters.
+
+The cache can be byte-bounded (``capacity_bytes``; 0 = unbounded): entries
+are kept in least-recently-used order (dict insertion order, refreshed on
+access) and :meth:`trim` evicts from the LRU end until the cache fits.  The
+pipeline calls ``trim`` only at alignment-stage *exit* — never mid-stage —
+because :meth:`missing` has already promised the aligner that the filtered
+RIDs are resident; evicting one mid-run would turn that promise into a
+``KeyError``.  Capacity is charged as one byte per base (the decoded
+sequence string dominates a fully-materialised entry; memoised code buffers
+are counted implicitly by the same measure).
 """
 
 from __future__ import annotations
@@ -68,18 +78,30 @@ class ReadCache:
     fetch_hits:
         Remote fetches avoided because :meth:`missing` found the sequence
         already cached (nonzero across pooled runs over the same read set).
+    capacity_bytes:
+        Byte bound enforced by :meth:`trim` (0 = unbounded, the default).
+    evictions / evicted_bytes:
+        Entries (and their base counts) evicted by capacity trims.
     """
 
     _entries: dict[int, _Entry] = field(default_factory=dict)
     hits: int = 0
     misses: int = 0
     fetch_hits: int = 0
+    capacity_bytes: int = 0
+    evictions: int = 0
+    evicted_bytes: int = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def __contains__(self, rid: int) -> bool:
         return rid in self._entries
+
+    def _touch(self, rid: int) -> None:
+        """Mark *rid* most-recently-used (move to the dict's insertion tail)."""
+        entry = self._entries.pop(rid)
+        self._entries[rid] = entry
 
     # -- sequence level ------------------------------------------------------
 
@@ -122,6 +144,7 @@ class ReadCache:
         its memoised encodings) wins.
         """
         if rid in self._entries:
+            self._touch(int(rid))
             return
         self._entries[int(rid)] = _Entry(packed=np.asarray(packed, dtype=np.uint8),
                                          length=int(length))
@@ -129,6 +152,7 @@ class ReadCache:
     def get_sequence(self, rid: int) -> str:
         """The cached sequence of *rid*, decoding lazily (KeyError if absent)."""
         entry = self._entries[rid]
+        self._touch(rid)
         if entry.sequence is None:
             entry.sequence = decode_sequence(self._codes_of(entry))
         return entry.sequence
@@ -176,6 +200,58 @@ class ReadCache:
                    for rid in np.asarray(rids, dtype=np.int64).tolist()
                    if (entry := self._entries.get(rid)) is not None)
 
+    # -- capacity ------------------------------------------------------------
+
+    def trim(self, capacity_bytes: int | None = None) -> int:
+        """Evict least-recently-used entries until the cache fits the bound.
+
+        Parameters
+        ----------
+        capacity_bytes:
+            Byte bound to trim to; defaults to the cache's own
+            ``capacity_bytes``.  ``0`` (or ``None`` with an unbounded cache)
+            is a no-op.
+
+        Returns
+        -------
+        int
+            Number of entries evicted.
+
+        Only ever called at alignment-stage exit — mid-stage eviction could
+        remove a read :meth:`missing` already reported as resident.
+        """
+        bound = self.capacity_bytes if capacity_bytes is None else int(capacity_bytes)
+        if bound <= 0 or not self._entries:
+            return 0
+        total = self.total_bases()
+        evicted = 0
+        lru = iter(list(self._entries.keys()))
+        while total > bound:
+            try:
+                rid = next(lru)
+            except StopIteration:  # pragma: no cover - total hits 0 first
+                break
+            entry = self._entries.pop(rid)
+            total -= entry.n_bases()
+            self.evicted_bytes += entry.n_bases()
+            evicted += 1
+        self.evictions += evicted
+        return evicted
+
+    def evict_rids_at_or_above(self, min_rid: int) -> int:
+        """Drop every entry with RID ``>= min_rid``; returns the count dropped.
+
+        The serve phase's correctness eviction: query RIDs are reused by
+        every batch (``n_index + position``), and :meth:`put_packed` keeps
+        existing entries, so yesterday's query read must leave the persistent
+        cache before today's batch reuses its RID.  Not counted as a
+        capacity eviction.
+        """
+        stale = [rid for rid in self._entries if rid >= min_rid]
+        for rid in stale:
+            del self._entries[rid]
+        return len(stale)
+
     # -- encoded level -------------------------------------------------------
 
     def _codes_of(self, entry: _Entry) -> np.ndarray:
@@ -191,6 +267,7 @@ class ReadCache:
     def encoded(self, rid: int) -> np.ndarray:
         """The 2-bit code array of *rid*, encoded (or unpacked) at most once."""
         entry = self._entries[rid]
+        self._touch(rid)
         if entry.codes is None:
             self.misses += 1
             self._codes_of(entry)
@@ -206,6 +283,7 @@ class ReadCache:
         costs one extra buffer the first time and nothing after.
         """
         entry = self._entries[rid]
+        self._touch(rid)
         if entry.codes_rc is None:
             self.misses += 1
             entry.codes_rc = (3 - self.encoded_peek(rid))[::-1].astype(np.uint8)
@@ -225,6 +303,8 @@ class ReadCache:
             "read_cache_hits": self.hits,
             "read_cache_misses": self.misses,
             "read_cache_fetch_hits": self.fetch_hits,
+            "read_cache_evictions": self.evictions,
+            "read_cache_evicted_bytes": self.evicted_bytes,
         }
 
 

@@ -8,6 +8,15 @@ Subcommands
     Run the overlap + alignment pipeline on a FASTQ file (or a named
     synthetic preset) and print the run summary; optionally write the
     detected overlaps to a TSV file.
+``serve``
+    Build/serve session: build the resident k-mer index over a slice of the
+    input, then drain the remaining reads through the
+    :class:`~repro.core.service.AlignmentService` as repeated query batches,
+    printing per-batch latency and reuse counters.
+``query``
+    One query batch: build the index from ``--index`` and align the
+    ``--queries`` reads against it (the serve phase without the admission
+    loop).
 ``experiment``
     Regenerate one of the paper's tables/figures and print its rows.
 ``platforms``
@@ -24,6 +33,8 @@ from repro.bench import experiments as exp
 from repro.bench.reporting import format_table
 from repro.core.config import PipelineConfig
 from repro.core.driver import run_dibella
+from repro.core.service import AlignmentService
+from repro.mpisim.topology import Topology
 from repro.data.datasets import (
     ecoli100x_like,
     ecoli30x_like,
@@ -115,7 +126,58 @@ def _build_parser() -> argparse.ArgumentParser:
                           "table is built in; >1 streams the hash-table/overlap "
                           "boundary one shard at a time, bounding peak table "
                           "memory (default honours DIBELLA_HASH_SHARDS, else 4)")
+    run.add_argument("--read-cache-mb", type=float, default=None,
+                     help="byte-capacity LRU bound (MiB) of each rank's "
+                          "alignment-stage read cache; 0 (the default) is "
+                          "unbounded (DIBELLA_READ_CACHE_MB has the same effect)")
+    run.add_argument("--pool-stats", action="store_true",
+                     help="print per-pool usage statistics (runs served, forks "
+                          "amortised) after the run; only meaningful with --pool")
     run.add_argument("--overlaps-out", help="write detected overlaps to this TSV file")
+
+    serve = sub.add_parser(
+        "serve", help="build a resident index, then serve repeated query batches")
+    serve.add_argument("--input", help="input FASTQ file (omit to use --preset)")
+    serve.add_argument("--preset", choices=sorted(_PRESETS), default="tiny")
+    serve.add_argument("--scale", type=float, default=0.01)
+    serve.add_argument("-k", type=int, default=17, help="k-mer length")
+    serve.add_argument("--nodes", type=int, default=1)
+    serve.add_argument("--ranks-per-node", type=int, default=2)
+    serve.add_argument("--backend", choices=["thread", "process"], default=None)
+    serve.add_argument("--hash-shards", type=int, default=None)
+    serve.add_argument("--pool", action="store_true", default=None,
+                       help="force the persistent rank pool on (the service "
+                            "already forces it for the process backend — index "
+                            "residency requires surviving workers)")
+    serve.add_argument("--index-fraction", type=float, default=0.8,
+                       help="fraction of the input reads indexed; the rest "
+                            "become the query stream (default 0.8)")
+    serve.add_argument("--query-batches", type=int, default=2,
+                       help="number of query batches the non-indexed reads are "
+                            "split into (default 2: enough to show reuse)")
+    serve.add_argument("--serve-batch-reads", type=int, default=None,
+                       help="admission bound: queued submissions are coalesced "
+                            "into batches of at most this many reads "
+                            "(DIBELLA_SERVE_BATCH_READS has the same effect)")
+    serve.add_argument("--read-cache-mb", type=float, default=None,
+                       help="byte-capacity LRU bound (MiB) of each rank's read "
+                            "cache; 0 = unbounded (DIBELLA_READ_CACHE_MB has "
+                            "the same effect)")
+    serve.add_argument("--pool-stats", action="store_true",
+                       help="print per-pool usage statistics after the session")
+
+    query = sub.add_parser(
+        "query", help="align one query batch against an index read set")
+    query.add_argument("--index", required=True, help="index FASTQ file")
+    query.add_argument("--queries", required=True, help="query FASTQ file")
+    query.add_argument("-k", type=int, default=17, help="k-mer length")
+    query.add_argument("--nodes", type=int, default=1)
+    query.add_argument("--ranks-per-node", type=int, default=2)
+    query.add_argument("--backend", choices=["thread", "process"], default=None)
+    query.add_argument("--hash-shards", type=int, default=None)
+    query.add_argument("--read-cache-mb", type=float, default=None)
+    query.add_argument("--overlaps-out",
+                       help="write the query-vs-index alignments to this TSV file")
 
     ex = sub.add_parser("experiment", help="regenerate a paper table/figure")
     ex.add_argument("name", choices=sorted(_EXPERIMENTS))
@@ -130,6 +192,28 @@ def _resolve_strategy(name: str, k: int) -> SeedStrategy:
     if name == "d1000":
         return SeedStrategy.separated_by(1000)
     return SeedStrategy.separated_by(k)
+
+
+def _print_pool_stats() -> None:
+    from repro.mpisim.backend import rank_pool_stats
+
+    stats = rank_pool_stats()
+    if not stats:
+        print("pool: no active rank pools")
+        return
+    for entry in stats:
+        print(f"pool[{entry['start_method']} x{entry['n_ranks']}]: "
+              f"runs_completed={entry['runs_completed']} "
+              f"forks_amortised={entry['forks_amortised']}")
+
+
+def _load_reads(args: argparse.Namespace) -> tuple["object", str]:
+    """The input read set and a printable source label (FASTQ or preset)."""
+    if getattr(args, "input", None):
+        return read_fastq(args.input), args.input
+    factory = _PRESETS[args.preset]
+    spec = factory() if args.preset == "tiny" else factory(scale=args.scale)
+    return generate_dataset(spec).reads, spec.name
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -170,6 +254,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         config = config.with_wire_packing(False)
     if args.hash_shards is not None:
         config = config.with_hash_table_shards(args.hash_shards)
+    if args.read_cache_mb is not None:
+        config = config.with_read_cache_mb(args.read_cache_mb)
     result = run_dibella(reads, config=config, n_nodes=args.nodes,
                          ranks_per_node=args.ranks_per_node, backend=args.backend,
                          pool=args.pool)
@@ -185,6 +271,95 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 table["span_a"], table["span_b"],
             ):
                 fh.write(f"{ra}\t{rb}\t{score}\t{sa}\t{sb}\n")
+        print(f"wrote {table['rid_a'].size} alignments to {args.overlaps_out}")
+    if args.pool_stats:
+        _print_pool_stats()
+    return 0
+
+
+def _serve_config(args: argparse.Namespace) -> PipelineConfig:
+    """Shared config assembly of the serve/query subcommands."""
+    config = PipelineConfig(kmer=KmerSpec(k=args.k))
+    if args.backend is not None:
+        config = config.with_backend(args.backend)
+    if args.hash_shards is not None:
+        config = config.with_hash_table_shards(args.hash_shards)
+    if args.read_cache_mb is not None:
+        config = config.with_read_cache_mb(args.read_cache_mb)
+    if getattr(args, "pool", None):
+        config = config.with_pool(True)
+    if getattr(args, "serve_batch_reads", None) is not None:
+        config = config.with_serve_batch_reads(args.serve_batch_reads)
+    return config
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    reads, source = _load_reads(args)
+    if not (0.0 < args.index_fraction < 1.0):
+        print("serve: --index-fraction must be in (0, 1)", file=sys.stderr)
+        return 2
+    n_index = max(1, min(len(reads) - 1, int(len(reads) * args.index_fraction)))
+    query_rids = list(range(n_index, len(reads)))
+    if not query_rids:
+        print("serve: input leaves no query reads after the index slice",
+              file=sys.stderr)
+        return 2
+    config = _serve_config(args)
+    topology = Topology(n_nodes=args.nodes, ranks_per_node=args.ranks_per_node)
+    service = AlignmentService(reads.subset(range(n_index)), config=config,
+                               topology=topology)
+
+    build = service.build()
+    print(f"index: {source} reads 0..{n_index - 1} "
+          f"({build.counters.get('index_retained_kmers', 0)} retained k-mers, "
+          f"{build.wall_seconds:.3f}s build)")
+
+    n_batches = max(1, min(args.query_batches, len(query_rids)))
+    bounds = [len(query_rids) * i // n_batches for i in range(n_batches + 1)]
+    for lo, hi in zip(bounds[:-1], bounds[1:]):
+        service.submit([reads[rid] for rid in query_rids[lo:hi]])
+        service.drain()
+
+    for record in service.records:
+        counters = record.result.counters
+        print(f"batch {record.batch_index}: {record.n_reads} reads -> "
+              f"{counters.get('accepted_alignments', 0)} alignments in "
+              f"{record.wall_seconds:.3f}s "
+              f"(index_reuse_hits={counters.get('index_reuse_hits', 0)}, "
+              f"index_build_runs={counters.get('index_build_runs', 0)})")
+    for key, value in service.latency_stats().items():
+        print(f"  {key}: {value:.4f}")
+    if args.pool_stats:
+        _print_pool_stats()
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    index_reads = read_fastq(args.index)
+    query_reads = read_fastq(args.queries)
+    config = _serve_config(args)
+    topology = Topology(n_nodes=args.nodes, ranks_per_node=args.ranks_per_node)
+    service = AlignmentService(index_reads, config=config, topology=topology)
+    service.submit(list(query_reads))
+    record = service.drain()[0]
+    counters = record.result.counters
+    print(f"index: {args.index} ({len(index_reads)} reads)  "
+          f"queries: {args.queries} ({len(query_reads)} reads)")
+    print(f"  alignments: {counters.get('accepted_alignments', 0)}")
+    print(f"  overlap_pairs: {counters.get('overlap_pairs', 0)}")
+    print(f"  wall_seconds: {record.wall_seconds:.3f}")
+    if args.overlaps_out:
+        table = record.result.alignment_table()
+        n_index = len(index_reads)
+        with open(args.overlaps_out, "w", encoding="utf-8") as fh:
+            fh.write("index_read\tquery_read\tscore\tspan_a\tspan_b\n")
+            for ra, rb, score, sa, sb in zip(
+                table["rid_a"], table["rid_b"], table["score"],
+                table["span_a"], table["span_b"],
+            ):
+                fh.write(f"{index_reads[int(ra)].name}\t"
+                         f"{query_reads[int(rb) - n_index].name}\t"
+                         f"{score}\t{sa}\t{sb}\n")
         print(f"wrote {table['rid_a'].size} alignments to {args.overlaps_out}")
     return 0
 
@@ -207,6 +382,8 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "simulate": _cmd_simulate,
         "run": _cmd_run,
+        "serve": _cmd_serve,
+        "query": _cmd_query,
         "experiment": _cmd_experiment,
         "platforms": _cmd_platforms,
     }

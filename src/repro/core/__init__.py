@@ -20,6 +20,7 @@ from repro.core.config import PipelineConfig
 from repro.core.result import PipelineResult, StageRecord, RankReport
 from repro.core.driver import run_dibella
 from repro.core.pipeline import DibellaPipeline
+from repro.core.service import AlignmentService, QueryBatchRecord
 
 __all__ = [
     "PipelineConfig",
@@ -28,4 +29,6 @@ __all__ = [
     "RankReport",
     "run_dibella",
     "DibellaPipeline",
+    "AlignmentService",
+    "QueryBatchRecord",
 ]

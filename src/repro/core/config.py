@@ -156,6 +156,21 @@ class PipelineConfig:
         tag, so a reused rank never serves stale reads).  The thread backend
         has no fork cost but still keeps the cross-run read caches.  The
         default honours ``DIBELLA_POOL``.
+    serve_batch_reads:
+        Serve-phase admission bound: the
+        :class:`~repro.core.service.AlignmentService` coalesces queued query
+        submissions into one drained batch of at most this many reads, so a
+        burst of small submissions pays the per-batch SPMD dispatch once.
+        The default honours ``DIBELLA_SERVE_BATCH_READS``.
+    read_cache_mb:
+        Byte-capacity bound (MiB) of each rank's alignment-stage read cache.
+        ``0`` (the default) keeps the PR-3 behaviour — the cache grows
+        without limit across pooled runs — which is fine for one-shot
+        batches but a slow leak for an always-on service; a positive bound
+        evicts least-recently-used reads down to the capacity at the end of
+        every alignment stage (counters ``read_cache_evictions`` /
+        ``read_cache_evicted_bytes``).  The default honours
+        ``DIBELLA_READ_CACHE_MB``.
     """
 
     kmer: KmerSpec = field(default_factory=lambda: KmerSpec(k=17))
@@ -194,6 +209,12 @@ class PipelineConfig:
         default_factory=lambda: _env_optional_int("DIBELLA_ALIGN_BATCH_TASKS")
     )
     pool: bool = field(default_factory=lambda: _env_flag("DIBELLA_POOL", False))
+    serve_batch_reads: int = field(
+        default_factory=lambda: int(os.environ.get("DIBELLA_SERVE_BATCH_READS", "4096"))
+    )
+    read_cache_mb: float = field(
+        default_factory=lambda: float(os.environ.get("DIBELLA_READ_CACHE_MB", "0"))
+    )
 
     def __post_init__(self) -> None:
         if self.min_kmer_count < 1:
@@ -231,6 +252,10 @@ class PipelineConfig:
         if self.alignment_batch_tasks is not None and self.alignment_batch_tasks < 1:
             raise ValueError(
                 "alignment_batch_tasks must be >= 1 (or None for one batch)")
+        if self.serve_batch_reads < 1:
+            raise ValueError("serve_batch_reads must be >= 1")
+        if self.read_cache_mb < 0:
+            raise ValueError("read_cache_mb must be >= 0 (0 = unbounded)")
 
     # -- derived parameters ---------------------------------------------------
 
@@ -304,6 +329,19 @@ class PipelineConfig:
         coverage = self.coverage_hint if self.coverage_hint is not None else 30.0
         error_rate = self.error_rate_hint if self.error_rate_hint is not None else 0.12
         return high_frequency_threshold(coverage, error_rate, self.kmer.k)
+
+    @property
+    def read_cache_capacity_bytes(self) -> int:
+        """The read-cache byte bound (``0`` = unbounded)."""
+        return int(self.read_cache_mb * (1 << 20))
+
+    def with_serve_batch_reads(self, serve_batch_reads: int) -> "PipelineConfig":
+        """Copy of this config coalescing at most *serve_batch_reads* reads per batch."""
+        return replace(self, serve_batch_reads=serve_batch_reads)
+
+    def with_read_cache_mb(self, read_cache_mb: float) -> "PipelineConfig":
+        """Copy of this config bounding each rank's read cache to *read_cache_mb* MiB."""
+        return replace(self, read_cache_mb=read_cache_mb)
 
     def with_seed_strategy(self, strategy: SeedStrategy) -> "PipelineConfig":
         """Copy of this config with a different seed strategy (bench helper)."""

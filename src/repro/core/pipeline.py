@@ -8,7 +8,7 @@ import numpy as np
 
 from repro.core.config import PipelineConfig
 from repro.core.result import PipelineResult, RankReport, StageRecord, STAGE_NAMES
-from repro.core.stages import run_rank_pipeline
+from repro.core.stages import run_index_build, run_query_batch, run_rank_pipeline
 from repro.io.partition import partition_reads
 from repro.mpisim.runtime import spmd_run
 from repro.mpisim.topology import Topology
@@ -21,6 +21,7 @@ _STAGE_METADATA: dict[str, tuple[str, str]] = {
     "hashtable": ("kmers_hashtable", "hashtable_exchange"),
     "overlap": ("retained_kmers", "overlap_exchange"),
     "alignment": ("dp_cells", "alignment_exchange"),
+    "query_route": ("query_kmers", "query_route_exchange"),
 }
 
 #: Stage name -> counter providing the stage's "throughput items".
@@ -29,7 +30,17 @@ _STAGE_ITEM_COUNTER: dict[str, str] = {
     "hashtable": "kmers_received_hashtable",
     "overlap": "retained_kmers",
     "alignment": "alignments",
+    "query_route": "query_kmers_routed",
 }
+
+#: Stage sequences of the phase-split runs (the one-shot run uses
+#: ``STAGE_NAMES``).  The build phase only runs the stage-2 exchange; a
+#: query batch routes its k-mers, reuses the overlap/alignment machinery,
+#: and — only when a rank lost its resident index — re-runs the hash-table
+#: build, whose record then shows the rebuild cost (all-zero otherwise).
+_INDEX_BUILD_STAGES: tuple[str, ...] = ("hashtable",)
+_QUERY_BATCH_STAGES: tuple[str, ...] = ("hashtable", "query_route", "overlap",
+                                        "alignment")
 
 
 class DibellaPipeline:
@@ -62,6 +73,10 @@ class DibellaPipeline:
         self.config = config or PipelineConfig()
         self.topology = topology or Topology.single_node(4)
         self.cache_namespace = cache_namespace
+        # Serve-phase handle, set by build_index: the index read set and the
+        # resident-index generation tag query batches run against.
+        self._index_readset: ReadSet | None = None
+        self._index_tag: str | None = None
 
     def run(self, readset: ReadSet) -> PipelineResult:
         """Run the full pipeline on *readset* and return the assembled result."""
@@ -115,12 +130,177 @@ class DibellaPipeline:
             wall_seconds=wall_seconds,
         )
 
+    # -- build / serve phases -------------------------------------------------------
+
+    def _pool_cache_tag(self, base: str) -> str | None:
+        """The persistent read-cache tag for a run (None without the pool)."""
+        if not self.config.pool:
+            return None
+        if self.cache_namespace is not None:
+            return f"{base}:{self.cache_namespace}"
+        return base
+
+    def build_index(self, readset: ReadSet) -> PipelineResult:
+        """Build phase: construct the sharded k-mer index and keep it resident.
+
+        Runs :func:`~repro.core.stages.run_index_build` on every rank: the
+        stage-2 occurrence exchange over *readset* with the Bloom candidate
+        gate lifted, drained into a per-rank
+        :class:`~repro.kmers.hashtable.ShardedKmerIndex` published in the
+        resident-index registry.  Under the rank pool (process backend) the
+        worker processes stay parked afterwards, holding their index shards
+        — subsequent :meth:`run_query_batch` calls touch zero index-build
+        code paths (counter ``index_reuse_hits``).
+
+        The index generation tag folds in every parameter the resident
+        layout depends on — the read-set fingerprint, k, the shard count and
+        the rank count — so a pooled rank reused with different parameters
+        rebuilds instead of serving a stale index.
+
+        Returns the build's :class:`PipelineResult` (hash-table stage record
+        and the ``index_*`` counters; no overlaps or alignments).
+        """
+        if len(readset) == 0:
+            raise ValueError("cannot build an index from an empty read set")
+        config = self.config
+        topology = self.topology
+        n_ranks = topology.n_ranks
+
+        assignments = partition_reads(readset, n_ranks, strategy=config.partition_strategy)
+        high_freq_threshold = config.resolve_high_freq_threshold(readset)
+        index_tag = (f"{readset.fingerprint()}:k{config.kmer.k}"
+                     f":s{config.hash_table_shards}:r{n_ranks}")
+        trace = CommTrace(n_ranks)
+
+        start = time.perf_counter()
+        reports: list[RankReport] = spmd_run(
+            n_ranks,
+            run_index_build,
+            readset,
+            assignments,
+            config,
+            high_freq_threshold,
+            index_tag,
+            topology=topology,
+            trace=trace,
+            backend=config.backend,
+            pool=config.pool,
+            cache_tag=self._pool_cache_tag(index_tag),
+        )
+        wall_seconds = time.perf_counter() - start
+
+        self._index_readset = readset
+        self._index_tag = index_tag
+
+        stages = self._build_stage_records(reports, n_ranks,
+                                           stage_names=_INDEX_BUILD_STAGES)
+        counters = self._aggregate_counters(reports)
+        counters["high_freq_threshold"] = high_freq_threshold
+
+        return PipelineResult(
+            config=config,
+            topology=topology,
+            trace=trace,
+            stages=stages,
+            rank_reports=reports,
+            counters=counters,
+            wall_seconds=wall_seconds,
+        )
+
+    def run_query_batch(self, query_reads: ReadSet) -> PipelineResult:
+        """Serve phase: align one batch of query reads against the resident index.
+
+        Requires a prior :meth:`build_index` on this pipeline.  The batch's
+        k-mers are routed to the owning index shards on the superstep
+        scheduler, merged into the resident table per shard, expanded into
+        **query-vs-index** pairs only, and aligned with the unmodified
+        two-hop fetch + x-drop stage.  The result's alignments are
+        bit-identical to running the one-shot pipeline over (index reads ∪
+        query batch) and keeping only its query-vs-index alignments; query
+        RIDs in the result are ``n_index_reads + position`` within
+        *query_reads*.
+
+        Read names must not collide with the index read set (the
+        :class:`~repro.core.service.AlignmentService` front-end prefixes
+        submissions to guarantee this).
+        """
+        if self._index_readset is None or self._index_tag is None:
+            raise RuntimeError(
+                "run_query_batch requires build_index first: the serve phase "
+                "aligns queries against the resident index of a build phase"
+            )
+        if len(query_reads) == 0:
+            raise ValueError("cannot serve an empty query batch")
+        config = self.config
+        topology = self.topology
+        n_ranks = topology.n_ranks
+        index_readset = self._index_readset
+        n_index_reads = len(index_readset)
+
+        try:
+            combined = ReadSet(list(index_readset) + list(query_reads))
+        except ValueError as exc:
+            raise ValueError(
+                "query read names collide with the index read set (or each "
+                "other); submit queries through AlignmentService, which "
+                "prefixes each submission's names"
+            ) from exc
+
+        # Partition the *combined* set exactly as a one-shot run over it
+        # would: the union partition defines both the serve-phase read
+        # ownership and the arrival-order emulation that makes the served
+        # alignments bit-identical to that run's query-vs-index subset.
+        assignments = partition_reads(combined, n_ranks,
+                                      strategy=config.partition_strategy)
+        high_freq_threshold = config.resolve_high_freq_threshold(combined)
+        trace = CommTrace(n_ranks)
+
+        start = time.perf_counter()
+        reports: list[RankReport] = spmd_run(
+            n_ranks,
+            run_query_batch,
+            combined,
+            assignments,
+            n_index_reads,
+            config,
+            high_freq_threshold,
+            self._index_tag,
+            topology=topology,
+            trace=trace,
+            backend=config.backend,
+            pool=config.pool,
+            # Query runs share the *index* generation's read caches: index
+            # reads stay warm across batches, and each batch's query RIDs
+            # are evicted on entry (RIDs >= n_index_reads are reused).
+            cache_tag=self._pool_cache_tag(self._index_tag),
+        )
+        wall_seconds = time.perf_counter() - start
+
+        stages = self._build_stage_records(reports, n_ranks,
+                                           stage_names=_QUERY_BATCH_STAGES)
+        counters = self._aggregate_counters(reports)
+        counters["high_freq_threshold"] = high_freq_threshold
+        counters["query_reads"] = len(query_reads)
+
+        return PipelineResult(
+            config=config,
+            topology=topology,
+            trace=trace,
+            stages=stages,
+            rank_reports=reports,
+            counters=counters,
+            wall_seconds=wall_seconds,
+        )
+
     # -- assembly helpers -----------------------------------------------------------
 
     @staticmethod
-    def _build_stage_records(reports: list[RankReport], n_ranks: int) -> list[StageRecord]:
+    def _build_stage_records(
+        reports: list[RankReport], n_ranks: int,
+        stage_names: tuple[str, ...] = tuple(STAGE_NAMES),
+    ) -> list[StageRecord]:
         records: list[StageRecord] = []
-        for stage in STAGE_NAMES:
+        for stage in stage_names:
             work_unit, exchange_phase = _STAGE_METADATA[stage]
             item_counter = _STAGE_ITEM_COUNTER[stage]
             work = np.array([r.stage_work.get(stage, 0.0) for r in reports])

@@ -1,0 +1,217 @@
+"""Admission/batching front-end for the serve phase: :class:`AlignmentService`.
+
+The build/serve refactor turns the pipeline into two phases
+(:meth:`~repro.core.pipeline.DibellaPipeline.build_index` /
+:meth:`~repro.core.pipeline.DibellaPipeline.run_query_batch`); this module
+adds the always-on front of the ROADMAP's "alignment service" on top:
+
+* **submit** queues a batch of query reads without running anything — each
+  submission's read names are prefixed with a submission sequence number, so
+  callers can reuse names freely without colliding with the index read set
+  or with each other;
+* **drain** coalesces queued submissions into batches of at most
+  ``config.serve_batch_reads`` reads (whole submissions — a submission never
+  splits across batches, so one caller's reads always align together) and
+  runs each batch through the pooled pipeline, recording a per-batch
+  :class:`QueryBatchRecord` with the wall latency and the run counters;
+* **latency_stats** summarises the drained batches (p50/p99 wall seconds
+  per batch, reads served per second) — the numbers the serve latency bench
+  writes under ``benchmarks/results/``.
+
+The index is built lazily on the first drain (or eagerly via
+:meth:`AlignmentService.build`) and stays resident on the pooled ranks, so
+every batch after the first touches zero index-build code paths
+(``index_reuse_hits`` in each record's counters).  With the process backend
+the service forces the persistent rank pool on — without it every batch
+would land on freshly forked workers and rebuild the index.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import DibellaPipeline
+from repro.core.result import PipelineResult
+from repro.mpisim.topology import Topology
+from repro.seq.records import Read, ReadSet
+
+__all__ = ["AlignmentService", "QueryBatchRecord"]
+
+
+@dataclass(frozen=True)
+class QueryBatchRecord:
+    """One drained query batch: its shape, latency and run result.
+
+    Attributes
+    ----------
+    batch_index:
+        Position of this batch in the service's drain history (0-based).
+    n_reads / n_submissions:
+        Reads in the batch and how many submissions were coalesced into it.
+    wall_seconds:
+        End-to-end latency of the batch (partition + SPMD run + assembly).
+    result:
+        The batch's :class:`~repro.core.result.PipelineResult`; query RIDs
+        are ``n_index_reads + position`` within the batch, and
+        ``result.counters`` carries the reuse/rebuild evidence
+        (``index_reuse_hits`` vs ``index_build_runs``).
+    query_names:
+        The batch's (prefixed) read names in RID order — position ``i`` is
+        the read serving as RID ``n_index_reads + i``.
+    """
+
+    batch_index: int
+    n_reads: int
+    n_submissions: int
+    wall_seconds: float
+    result: PipelineResult
+    query_names: list[str]
+
+
+class AlignmentService:
+    """Build-once, query-many alignment service over a resident k-mer index.
+
+    Parameters
+    ----------
+    index_reads:
+        The reference read set the index phase builds over.
+    config:
+        Pipeline parameters.  ``config.serve_batch_reads`` bounds batch
+        coalescing; with ``backend == "process"`` the persistent rank pool
+        is forced on (index residency requires surviving workers).
+    topology:
+        Simulated node/rank layout (defaults to one node with four ranks,
+        like :class:`~repro.core.pipeline.DibellaPipeline`).
+
+    Examples
+    --------
+    >>> service = AlignmentService(index_reads, config)     # doctest: +SKIP
+    >>> service.submit(query_reads)                         # doctest: +SKIP
+    0
+    >>> records = service.drain()                           # doctest: +SKIP
+    >>> records[0].result.alignment_table()                 # doctest: +SKIP
+    """
+
+    def __init__(self, index_reads: ReadSet,
+                 config: PipelineConfig | None = None,
+                 topology: Topology | None = None):
+        if len(index_reads) == 0:
+            raise ValueError("cannot serve against an empty index read set")
+        config = config or PipelineConfig()
+        if config.backend == "process" and not config.pool:
+            config = config.with_pool(True)
+        self.config = config
+        self.index_reads = index_reads
+        self.pipeline = DibellaPipeline(config=config, topology=topology)
+        self.build_result: PipelineResult | None = None
+        self.records: list[QueryBatchRecord] = []
+        self._pending: list[tuple[int, list[Read]]] = []
+        self._next_submission = 0
+
+    # -- build phase ---------------------------------------------------------
+
+    def build(self) -> PipelineResult:
+        """Build the resident index now (idempotent; drain calls it lazily)."""
+        if self.build_result is None:
+            self.build_result = self.pipeline.build_index(self.index_reads)
+        return self.build_result
+
+    # -- admission -----------------------------------------------------------
+
+    def submit(self, reads: ReadSet | list[Read]) -> int:
+        """Queue one submission of query reads; returns its submission id.
+
+        Nothing runs until :meth:`drain`.  Each read is renamed to
+        ``q<submission>/<original name>`` so distinct submissions (and the
+        index read set) never collide on names.
+        """
+        read_list = list(reads)
+        if not read_list:
+            raise ValueError("cannot submit an empty query read set")
+        submission = self._next_submission
+        self._next_submission += 1
+        renamed = [replace(read, name=f"q{submission}/{read.name}")
+                   for read in read_list]
+        self._pending.append((submission, renamed))
+        return submission
+
+    @property
+    def pending_reads(self) -> int:
+        """Total queued reads not yet drained."""
+        return sum(len(reads) for _sub, reads in self._pending)
+
+    # -- serve phase ---------------------------------------------------------
+
+    def _take_batch(self) -> tuple[list[Read], int]:
+        """Pop whole submissions up to ``serve_batch_reads`` reads.
+
+        Always takes at least one submission, so an oversized submission
+        becomes its own batch instead of deadlocking the queue.
+        """
+        bound = self.config.serve_batch_reads
+        batch: list[Read] = []
+        n_submissions = 0
+        while self._pending:
+            _sub, reads = self._pending[0]
+            if batch and len(batch) + len(reads) > bound:
+                break
+            batch.extend(reads)
+            n_submissions += 1
+            self._pending.pop(0)
+        return batch, n_submissions
+
+    def drain(self) -> list[QueryBatchRecord]:
+        """Run every queued submission through the pipeline; return new records.
+
+        Builds the index first if no build has happened yet (that cost lands
+        outside the per-batch latency records).  Queued submissions are
+        coalesced into batches of at most ``config.serve_batch_reads`` reads
+        and each batch is one SPMD run against the resident index.
+        """
+        self.build()
+        new_records: list[QueryBatchRecord] = []
+        while self._pending:
+            batch, n_submissions = self._take_batch()
+            query_set = ReadSet(batch)
+            start = time.perf_counter()
+            result = self.pipeline.run_query_batch(query_set)
+            wall_seconds = time.perf_counter() - start
+            record = QueryBatchRecord(
+                batch_index=len(self.records),
+                n_reads=len(batch),
+                n_submissions=n_submissions,
+                wall_seconds=wall_seconds,
+                result=result,
+                query_names=query_set.names(),
+            )
+            self.records.append(record)
+            new_records.append(record)
+        return new_records
+
+    # -- reporting -----------------------------------------------------------
+
+    def latency_stats(self) -> dict[str, float]:
+        """p50/p99 batch latency and reads-per-second over all drained batches."""
+        if not self.records:
+            return {"batches": 0.0, "reads": 0.0, "p50_seconds": 0.0,
+                    "p99_seconds": 0.0, "reads_per_second": 0.0}
+        walls = np.array([record.wall_seconds for record in self.records])
+        total_reads = sum(record.n_reads for record in self.records)
+        total_wall = float(walls.sum())
+        return {
+            "batches": float(len(self.records)),
+            "reads": float(total_reads),
+            "p50_seconds": float(np.percentile(walls, 50)),
+            "p99_seconds": float(np.percentile(walls, 99)),
+            "reads_per_second": (total_reads / total_wall) if total_wall > 0 else 0.0,
+        }
+
+    def shutdown(self) -> None:
+        """Release the service's pooled ranks (and their resident indexes)."""
+        from repro.mpisim.backend import shutdown_rank_pools
+
+        shutdown_rank_pools()

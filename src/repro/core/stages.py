@@ -38,6 +38,7 @@ from repro.kmers.hashing import owner_of
 from repro.kmers.hashtable import (
     KmerHashTablePartition,
     RetainedKmers,
+    ShardedKmerIndex,
     shard_code_boundaries,
 )
 from repro.kmers.hyperloglog import HyperLogLog
@@ -751,6 +752,7 @@ def alignment_stage(comm: SimCommunicator, state: _RankState) -> BatchAligner:
     # run's activity as a delta from the entry snapshot.
     cache_counter_base = state.read_cache.counters()
     cache = state.read_cache
+    cache.capacity_bytes = config.read_cache_capacity_bytes
     tasks = state.tasks
 
     with timer.compute():
@@ -843,6 +845,11 @@ def alignment_stage(comm: SimCommunicator, state: _RankState) -> BatchAligner:
     # peers on the packed path (and, under the pool, previous runs' reads):
     # the cost-model input must not depend on the wire encoding.
     state.local_bytes["alignment"] = float(cache.bases_cached(needed))
+    # Capacity trim happens only here, at stage exit: every task has aligned,
+    # so no read the fetch plan promised is still needed (a mid-stage evict
+    # would break that promise).  The eviction counters land in this run's
+    # delta below.
+    cache.trim()
     state.counters["alignments"] = aligner.stats.alignments
     state.counters["accepted_alignments"] = aligner.stats.accepted
     state.counters["dp_cells"] = aligner.stats.cells
@@ -938,6 +945,461 @@ def run_rank_pipeline(
         stage_bytes=dict(state.local_bytes),
         stage_compute_seconds={name: t.compute_seconds for name, t in state.timers.items()},
         stage_exchange_seconds={name: t.exchange_seconds for name, t in state.timers.items()},
+        counters=dict(state.counters),
+        overlaps=state.overlaps,
+        aln_rid_a=accepted[0],
+        aln_rid_b=accepted[1],
+        aln_score=accepted[2],
+        aln_span_a=accepted[3],
+        aln_span_b=accepted[4],
+        stage_overlapped_seconds={name: t.overlapped_seconds
+                                  for name, t in state.timers.items()},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Build / serve phase split: index residency + query batches
+# ---------------------------------------------------------------------------
+
+#: Resident sharded k-mer indexes that outlive a single SPMD run, keyed by
+#: (index tag, rank) — the serve phase's counterpart of the persistent read
+#: caches above.  Under the persistent rank pool a worker process survives
+#: across ``spmd_run`` invocations, so the index a rank built in
+#: ``run_index_build`` is still here when ``run_query_batch`` executes, and
+#: the query batch touches zero index-build code paths (counter
+#: ``index_reuse_hits``).  The tag fingerprints the index read set *and* the
+#: parameters the resident layout depends on (k, shard count, rank count);
+#: acquiring a different tag evicts the previous generation, so a reused
+#: rank never serves a stale index.
+_RESIDENT_INDEXES: dict[tuple[str, int], ShardedKmerIndex] = {}
+_RESIDENT_INDEXES_LOCK = threading.Lock()
+
+
+def _resident_index(index_tag: str, rank: int) -> ShardedKmerIndex | None:
+    """This rank's resident index under *index_tag*, evicting stale tags."""
+    with _RESIDENT_INDEXES_LOCK:
+        stale = [key for key in _RESIDENT_INDEXES if key[0] != index_tag]
+        for key in stale:
+            del _RESIDENT_INDEXES[key]
+        return _RESIDENT_INDEXES.get((index_tag, rank))
+
+
+def _store_resident_index(index_tag: str, rank: int,
+                          index: ShardedKmerIndex) -> None:
+    """Publish *rank*'s freshly built index under *index_tag*."""
+    with _RESIDENT_INDEXES_LOCK:
+        _RESIDENT_INDEXES[(index_tag, rank)] = index
+
+
+def reset_resident_indexes() -> None:
+    """Drop every resident index (tests and benches reset state)."""
+    with _RESIDENT_INDEXES_LOCK:
+        _RESIDENT_INDEXES.clear()
+
+
+def _union_order_key(assignments: list[list[int]], n_reads: int,
+                     batch_reads: int) -> np.ndarray:
+    """RID → arrival ordinal of the emulated one-shot run over these reads.
+
+    In the one-shot pipeline, occurrences reach their owner rank in
+    (superstep, source rank, in-batch read order) order: superstep ``b``
+    carries every rank's batch ``b``, the consume callback concatenates the
+    received chunks in source-rank order, and within one batch the reads
+    keep their local order.  ``((b * P) + src) * batch_reads + i`` (with
+    ``i`` the read's index within its batch) is a per-read key whose sort
+    order equals exactly that arrival order — the key the serve phase sorts
+    merged occurrence groups by to reproduce the one-shot retained table bit
+    for bit (see :meth:`~repro.kmers.hashtable.ShardedKmerIndex.merged_shard`).
+    """
+    n_ranks = len(assignments)
+    key = np.empty(n_reads, dtype=np.int64)
+    for rank, rids in enumerate(assignments):
+        rid_arr = np.asarray(rids, dtype=np.int64)
+        if rid_arr.size == 0:
+            continue
+        local = np.arange(rid_arr.size, dtype=np.int64)
+        batch, in_batch = local // batch_reads, local % batch_reads
+        key[rid_arr] = ((batch * n_ranks) + rank) * batch_reads + in_batch
+    return key
+
+
+def _index_hash_table(comm: SimCommunicator, state: _RankState) -> ShardedKmerIndex:
+    """Build this rank's resident index from its local reads (build phase).
+
+    Runs the stage-2 occurrence exchange with the Bloom candidate gate
+    lifted (:meth:`~repro.kmers.hashtable.KmerHashTablePartition.accept_all_keys`):
+    the index must keep singleton occurrences too, because a later query
+    batch can lift a singleton's union count into the reliable range.  The
+    Bloom stage (stage 1) is skipped entirely — its only output is the
+    candidate-key set the lifted gate replaces.  The buffered occurrences
+    are then drained into a :class:`ShardedKmerIndex` bucketed by the same
+    code-range boundaries the batch pipeline shards by.
+    """
+    config = state.config
+    state.hashtable.accept_all_keys()
+    hash_table_stage(comm, state)
+    with state.timer("hashtable").compute():
+        index = ShardedKmerIndex.from_partition(
+            state.hashtable,
+            shard_code_boundaries(config.kmer.k, config.hash_table_shards),
+        )
+    return index
+
+
+def _index_report_counters(state: _RankState, index: ShardedKmerIndex) -> None:
+    """Record the per-rank index shape counters on *state*."""
+    config = state.config
+    retained_kmers = 0
+    retained_occurrences = 0
+    with state.timer("hashtable").compute():
+        for shard in range(index.n_shards):
+            part = index.retained_shard(shard, min_count=config.min_kmer_count,
+                                        max_count=state.high_freq_threshold)
+            retained_kmers += part.n_kmers
+            retained_occurrences += part.n_occurrences
+    state.counters["index_build_runs"] = 1
+    state.counters["index_retained_kmers"] = retained_kmers
+    state.counters["index_retained_occurrences"] = retained_occurrences
+    state.counters["index_occurrences"] = index.n_occurrences
+    state.counters["index_nbytes"] = index.nbytes
+    state.counters["index_digest"] = index.digest()
+    state.counters["hash_table_shards"] = index.n_shards
+
+
+def _empty_rank_report(comm: SimCommunicator, state: _RankState) -> RankReport:
+    """A RankReport for a run that produced no overlaps or alignments."""
+    empty = np.empty(0, dtype=np.int64)
+    return RankReport(
+        rank=comm.rank,
+        stage_work=dict(state.work),
+        stage_bytes=dict(state.local_bytes),
+        stage_compute_seconds={name: t.compute_seconds
+                               for name, t in state.timers.items()},
+        stage_exchange_seconds={name: t.exchange_seconds
+                                for name, t in state.timers.items()},
+        counters=dict(state.counters),
+        overlaps=OverlapTable.empty(),
+        aln_rid_a=empty,
+        aln_rid_b=empty.copy(),
+        aln_score=empty.copy(),
+        aln_span_a=empty.copy(),
+        aln_span_b=empty.copy(),
+        stage_overlapped_seconds={name: t.overlapped_seconds
+                                  for name, t in state.timers.items()},
+    )
+
+
+def run_index_build(
+    comm: SimCommunicator,
+    readset: ReadSet,
+    assignments: list[list[int]],
+    config: PipelineConfig,
+    high_freq_threshold: int,
+    index_tag: str,
+    cache_tag: str | None = None,
+) -> RankReport:
+    """Build phase: construct this rank's sharded k-mer index and keep it resident.
+
+    The SPMD program of :meth:`DibellaPipeline.build_index`: runs the
+    stage-2 occurrence exchange over the index reads (Bloom gate lifted, see
+    :func:`_index_hash_table`), drains the buffered occurrences into a
+    :class:`~repro.kmers.hashtable.ShardedKmerIndex`, and publishes it in
+    the resident-index registry under *index_tag* — where subsequent
+    :func:`run_query_batch` invocations on a pooled rank find it without
+    rebuilding.  No overlaps or alignments are produced.
+
+    Counters: ``index_build_runs`` (always 1 here), ``index_retained_kmers``
+    / ``index_retained_occurrences`` (the table a query batch with no novel
+    occurrences would see), ``index_occurrences`` / ``index_nbytes`` (the
+    resident buffers), and ``index_digest`` — an insertion-order-independent
+    content digest, comparable across backends even when the index itself
+    lives in an unreachable worker process.
+    """
+    read_owner = _build_read_owner(readset, assignments)
+    state = _RankState(
+        config=config,
+        readset=readset,
+        local_rids=list(assignments[comm.rank]),
+        read_owner=read_owner,
+        high_freq_threshold=high_freq_threshold,
+        read_cache=_acquire_read_cache(cache_tag, comm.rank),
+    )
+    index = _index_hash_table(comm, state)
+    _store_resident_index(index_tag, comm.rank, index)
+    _index_report_counters(state, index)
+    return _empty_rank_report(comm, state)
+
+
+def run_query_batch(
+    comm: SimCommunicator,
+    readset: ReadSet,
+    assignments: list[list[int]],
+    n_index_reads: int,
+    config: PipelineConfig,
+    high_freq_threshold: int,
+    index_tag: str,
+    cache_tag: str | None = None,
+) -> RankReport:
+    """Serve phase: align one query batch against the resident index.
+
+    The SPMD program of :meth:`DibellaPipeline.run_query_batch`.  *readset*
+    is the combined set — index reads first (RIDs ``< n_index_reads``), the
+    query batch after them — and *assignments* partitions the combined set
+    exactly as a one-shot run over it would (the *emulated union run*).  The
+    batch flows through three stages:
+
+    1. **Query route** — extract the local *query* reads' k-mers and ship
+       (code, RID, position, strand) to the owner ranks on the superstep
+       scheduler, exactly like stage 2 but only over the query reads
+       (``query_route`` timers/counters; the index reads are never
+       re-parsed).
+    2. **Query overlap** — per code-range shard, merge the routed query
+       occurrences into the resident shard
+       (:meth:`~repro.kmers.hashtable.ShardedKmerIndex.merged_shard`,
+       ordered by the emulated union run's arrival order), generate pairs,
+       keep only **query-vs-index** pairs (``rid_a < n_index_reads <=
+       rid_b`` — within-side pairs are not this batch's job), and exchange
+       them chunked/double-buffered like the batch overlap stage.
+    3. **Alignment** — the unmodified :func:`alignment_stage`: two-hop read
+       fetch + x-drop over the consolidated tasks.
+
+    Ordering the merged occurrence groups by the union run's arrival order
+    makes the surviving pair stream — and therefore the accepted alignments
+    — bit-identical to running the one-shot pipeline over the combined set
+    and keeping only its query-vs-index alignments (pinned by the serve
+    parity tests).
+
+    If any rank lost its resident index (non-pooled process backend: fresh
+    workers every run), **all** ranks rebuild it first — presence is agreed
+    with a min-allreduce, so the rebuild's collectives stay matched — and
+    the run reports ``index_build_runs`` instead of ``index_reuse_hits``.
+
+    Query RIDs are reused by every batch, so the previous batch's query
+    reads are evicted from the (possibly pooled) read cache before the
+    alignment stage caches this batch's.
+    """
+    read_owner = _build_read_owner(readset, assignments)
+    local_rids = list(assignments[comm.rank])
+    cache = _acquire_read_cache(cache_tag, comm.rank)
+    cache.evict_rids_at_or_above(n_index_reads)
+
+    state = _RankState(
+        config=config,
+        readset=readset,
+        local_rids=local_rids,
+        read_owner=read_owner,
+        high_freq_threshold=high_freq_threshold,
+        read_cache=cache,
+    )
+
+    route_timer = state.timer("query_route")
+    comm.set_phase("query_route_exchange")
+
+    # Index residency consensus: either every rank reuses its resident index
+    # or every rank rebuilds — a mixed decision would leave the rebuilding
+    # ranks alone in the hash-table exchange and deadlock the collectives.
+    index = _resident_index(index_tag, comm.rank)
+    with route_timer.exchange():
+        all_present = int(comm.allreduce(
+            np.array([0 if index is None else 1], dtype=np.int64), op="min")[0])
+    if all_present:
+        state.counters["index_reuse_hits"] = 1
+        state.counters["hash_table_shards"] = index.n_shards
+    else:
+        # Rebuild over the index reads only (their slots in the combined
+        # partition still cover each exactly once).  Storage order does not
+        # matter — merged_shard re-sorts by the union arrival order.
+        build_state = _RankState(
+            config=config,
+            readset=readset,
+            local_rids=[rid for rid in local_rids if rid < n_index_reads],
+            read_owner=read_owner,
+            high_freq_threshold=high_freq_threshold,
+            read_cache=cache,
+        )
+        index = _index_hash_table(comm, build_state)
+        _store_resident_index(index_tag, comm.rank, index)
+        state.counters["index_build_runs"] = 1
+        state.counters["hash_table_shards"] = index.n_shards
+        for name in ("work", "local_bytes", "counters"):
+            getattr(state, name).update(getattr(build_state, name))
+        state.timers.update(build_state.timers)
+        comm.set_phase("query_route_exchange")
+
+    # -- stage Q1: route the query batch's k-mers to their owner ranks ------
+    local_query_rids = [rid for rid in local_rids if rid >= n_index_reads]
+    batches = _local_batches(local_query_rids, config.batch_reads)
+
+    query_kmers_parsed = 0
+    query_kmers_routed = 0
+    received_meta: list[np.ndarray] = []
+
+    def route_produce(step: int) -> list[np.ndarray]:
+        nonlocal query_kmers_parsed
+        rids = batches[step] if step < len(batches) else []
+        codes, rid_arr, pos_arr, strand_arr = _extract_batch_kmers(
+            state.readset, rids, config, with_positions=True
+        )
+        query_kmers_parsed += int(codes.size)
+        if codes.size:
+            owners = owner_of(codes, comm.size)
+            packed_meta = (
+                (rid_arr.astype(np.uint64) << np.uint64(32))
+                | (strand_arr.astype(np.uint64) << np.uint64(31))
+                | pos_arr.astype(np.uint64)
+            )
+            payload = np.stack([codes, packed_meta], axis=1)
+            return bucket_by_destination(payload, owners, comm.size)
+        return [np.empty((0, 2), dtype=np.uint64) for _ in range(comm.size)]
+
+    def route_consume(step: int, received: list) -> None:
+        nonlocal query_kmers_routed
+        chunks = [np.asarray(c, dtype=np.uint64) for c in received
+                  if np.asarray(c).size]
+        if chunks:
+            incoming = np.concatenate(chunks, axis=0)
+            query_kmers_routed += int(incoming.shape[0])
+            received_meta.append(incoming)
+
+    route_schedule = SuperstepSchedule(
+        comm, route_timer, len(batches),
+        double_buffer=config.stage_double_buffer("hashtable"), label="query_route",
+    )
+    route_outcome = route_schedule.run(route_produce, route_consume)
+
+    with route_timer.compute():
+        if received_meta:
+            incoming = np.concatenate(received_meta, axis=0)
+            meta = incoming[:, 1]
+            q_codes = incoming[:, 0]
+            q_rids = (meta >> np.uint64(32)).astype(np.int64)
+            q_positions = (meta & np.uint64(0x7FFFFFFF)).astype(np.int64)
+            q_strands = ((meta >> np.uint64(31)) & np.uint64(1)).astype(bool)
+        else:
+            q_codes = np.empty(0, dtype=np.uint64)
+            q_rids = np.empty(0, dtype=np.int64)
+            q_positions = np.empty(0, dtype=np.int64)
+            q_strands = np.empty(0, dtype=bool)
+        order_key = _union_order_key(assignments, len(readset), config.batch_reads)
+        q_shard_of = np.searchsorted(index.boundaries, q_codes, side="right")
+
+    state.work["query_route"] = float(query_kmers_routed)
+    state.local_bytes["query_route"] = float(index.nbytes + q_codes.nbytes * 4)
+    state.counters["query_kmers_parsed"] = query_kmers_parsed
+    state.counters["query_kmers_routed"] = query_kmers_routed
+    state.counters["query_route_double_buffered"] = int(route_outcome.double_buffered)
+    state.counters["query_route_steps_overlapped"] = route_outcome.steps_overlapped
+
+    # -- stage Q2: merged per-shard pair generation, cross pairs only -------
+    timer = state.timer("overlap")
+    comm.set_phase("overlap_exchange")
+    double_buffer = config.stage_double_buffer("overlap")
+
+    pairs_generated = 0
+    cross_pairs = 0
+    retained_kmers = 0
+    retained_occurrences = 0
+    total_chunks = 0
+    total_supersteps = 0
+    chunks_overlapped = 0
+    received_batches: list[PairBatch] = []
+
+    def consume(step: int, received: list) -> None:
+        received_batches.extend(
+            PairBatch.from_matrix(np.asarray(c)) for c in received
+        )
+
+    def stream_shard(merged: RetainedKmers, chunks: list[tuple[int, int]]):
+        nonlocal pairs_generated, cross_pairs
+
+        def produce(step: int) -> list[np.ndarray]:
+            nonlocal pairs_generated, cross_pairs
+            if step < len(chunks):
+                pairs = generate_pairs(merged, kmer_range=chunks[step])
+            else:
+                pairs = PairBatch.empty()
+            pairs_generated += len(pairs)
+            if len(pairs):
+                # The batch's job is query-vs-index pairs only: rid_a <
+                # rid_b always holds, so a cross pair is exactly rid_a on
+                # the index side and rid_b on the query side.  Owner choice
+                # happens before the filter drops the swapped annotation.
+                destinations = choose_owner(
+                    pairs.rid_a, pairs.rid_b, state.read_owner,
+                    heuristic=config.owner_heuristic, swapped=pairs.swapped,
+                )
+                cross = (pairs.rid_a < n_index_reads) & (pairs.rid_b >= n_index_reads)
+                cross_pairs += int(cross.sum())
+                return bucket_by_destination(
+                    pairs.to_matrix()[cross], destinations[cross], comm.size)
+            return [np.empty((0, 5), dtype=np.int64) for _ in range(comm.size)]
+
+        schedule = SuperstepSchedule(
+            comm, timer, len(chunks), double_buffer=double_buffer,
+            label="query_overlap",
+        )
+        return schedule.run(produce, consume)
+
+    for shard in range(index.n_shards):
+        with route_timer.compute():
+            in_shard = q_shard_of == shard
+            merged = index.merged_shard(
+                shard,
+                q_codes[in_shard], q_rids[in_shard],
+                q_positions[in_shard], q_strands[in_shard],
+                order_key, n_index_reads,
+                min_count=config.min_kmer_count,
+                max_count=high_freq_threshold,
+            )
+            retained_kmers += merged.n_kmers
+            retained_occurrences += merged.n_occurrences
+        with timer.compute():
+            chunks = pair_chunk_ranges(merged, config.exchange_chunk_bytes)
+        outcome = stream_shard(merged, chunks)
+        total_chunks += len(chunks)
+        total_supersteps += outcome.n_supersteps
+        chunks_overlapped += outcome.steps_overlapped
+        merged = None  # release the merged shard before building the next
+
+    with timer.compute():
+        incoming_pairs = PairBatch.concatenate(received_batches)
+        table = OverlapTable.from_pairs(incoming_pairs)
+        state.overlaps = table
+        selected = select_seeds_batched(table, config.seed_strategy)
+        pair_of_seed = np.searchsorted(table.seed_offsets, selected, side="right") - 1
+        state.tasks = TaskBatch(
+            rid_a=table.rid_a[pair_of_seed],
+            rid_b=table.rid_b[pair_of_seed],
+            seed_pos_a=table.seed_pos_a[selected],
+            seed_pos_b=table.seed_pos_b[selected],
+            same_strand=table.seed_same_strand[selected],
+        )
+
+    state.work["overlap"] = float(retained_occurrences + pairs_generated)
+    state.local_bytes["overlap"] = float(32 * pairs_generated)
+    state.counters["retained_kmers"] = retained_kmers
+    state.counters["retained_occurrences"] = retained_occurrences
+    state.counters["query_pairs_generated"] = pairs_generated
+    state.counters["query_cross_pairs"] = cross_pairs
+    state.counters["overlap_pairs"] = len(state.overlaps)
+    state.counters["alignment_tasks"] = len(state.tasks)
+    state.counters["overlap_exchange_chunks"] = total_chunks
+    state.counters["overlap_exchange_double_buffered"] = int(
+        bool(double_buffer) and total_supersteps > 0)
+    state.counters["overlap_chunks_overlapped"] = chunks_overlapped
+
+    # -- stage Q3: the unmodified two-hop fetch + alignment -----------------
+    alignment_stage(comm, state)
+
+    accepted = getattr(state, "_accepted")
+    return RankReport(
+        rank=comm.rank,
+        stage_work=dict(state.work),
+        stage_bytes=dict(state.local_bytes),
+        stage_compute_seconds={name: t.compute_seconds
+                               for name, t in state.timers.items()},
+        stage_exchange_seconds={name: t.exchange_seconds
+                                for name, t in state.timers.items()},
         counters=dict(state.counters),
         overlaps=state.overlaps,
         aln_rid_a=accepted[0],

@@ -33,6 +33,7 @@ the shard results reproduces the monolithic finalise bit for bit.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -187,11 +188,26 @@ class KmerHashTablePartition:
     def __init__(self) -> None:
         self._candidate_batches: list[np.ndarray] = []
         self._keys: np.ndarray | None = None
+        self._accept_all: bool = False
         self._occ_codes: list[np.ndarray] = []
         self._occ_rids: list[np.ndarray] = []
         self._occ_positions: list[np.ndarray] = []
         self._occ_strands: list[np.ndarray] = []
         self.retained_peak_nbytes: int = 0
+
+    def accept_all_keys(self) -> None:
+        """Treat every k-mer as a registered key (store all occurrences).
+
+        The serve-mode index build uses this instead of the Bloom candidate
+        pass: a resident query index must keep singleton occurrences too,
+        because an index-side singleton becomes retained the moment a query
+        batch contributes the occurrences that lift its union count into the
+        reliable range.  The count filters still apply at finalisation /
+        query time; only the *storage* gate is lifted.
+        """
+        self._accept_all = True
+        if self._keys is None:
+            self._keys = np.empty(0, dtype=np.uint64)
 
     # -- pass 1: candidate keys from the Bloom filter ---------------------------------
 
@@ -223,6 +239,8 @@ class KmerHashTablePartition:
         if self._keys is None:
             raise RuntimeError("finalize_keys() has not been called")
         codes = np.asarray(codes, dtype=np.uint64)
+        if self._accept_all:
+            return np.ones(codes.size, dtype=bool)
         if codes.size == 0:
             return np.zeros(0, dtype=bool)
         idx = np.searchsorted(self._keys, codes)
@@ -352,6 +370,30 @@ class KmerHashTablePartition:
             # it, and the one-live-shard memory bound would silently be two.
             del retained
 
+    def drain_occurrences(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Concatenate and release the buffered occurrences, in insertion order.
+
+        Used by the serve-mode index build to hand the stage-2 exchange's
+        output to a :class:`ShardedKmerIndex` without copying it twice: the
+        partition's buffers are cleared, so the raw batches are not retained
+        alongside the index.
+        """
+        if not self._occ_codes:
+            empty_i = np.empty(0, dtype=np.int64)
+            return (np.empty(0, dtype=np.uint64), empty_i, empty_i.copy(),
+                    np.empty(0, dtype=bool))
+        arrays = (
+            np.concatenate(self._occ_codes),
+            np.concatenate(self._occ_rids),
+            np.concatenate(self._occ_positions),
+            np.concatenate(self._occ_strands),
+        )
+        self._occ_codes = []
+        self._occ_rids = []
+        self._occ_positions = []
+        self._occ_strands = []
+        return arrays
+
     # -- introspection ----------------------------------------------------------------------
 
     @property
@@ -370,3 +412,266 @@ class KmerHashTablePartition:
                        self._occ_strands):
             total += sum(a.nbytes for a in arrays)
         return total
+
+
+class ShardedKmerIndex:
+    """A resident, incrementally-built sharded k-mer occurrence index.
+
+    This is the *serve-phase* counterpart of :class:`KmerHashTablePartition`:
+    where the batch pipeline buffers occurrences for one run and consumes
+    them shard by shard, this index keeps one rank's occurrences resident —
+    bucketed by the same contiguous code ranges (:func:`shard_code_boundaries`)
+    — so repeated query batches can probe it without rebuilding anything.
+
+    Two invariants make it exchangeable with the batch build:
+
+    * **Insertion-order parity** — occurrences are stored in insertion order
+      per shard, and every retained view groups them with the same stable
+      sort :func:`_finalize_arrays` uses, so ``insert_batch`` over any split
+      of the same occurrence stream yields views bit-identical to a one-shot
+      :meth:`KmerHashTablePartition.finalize` (pinned by the incremental
+      parity tests).
+    * **All occurrences kept** — the Bloom candidate gate is not applied
+      (see :meth:`KmerHashTablePartition.accept_all_keys`): an index-side
+      singleton must stay queryable because a query batch can lift its union
+      count into the reliable range.  The ``[min_count, max_count]`` filters
+      are applied by the views, never by storage.
+    """
+
+    def __init__(self, boundaries: np.ndarray) -> None:
+        self.boundaries = np.asarray(boundaries, dtype=np.uint64)
+        self.n_shards = int(self.boundaries.size) + 1
+        self._batches: list[list[tuple[np.ndarray, ...]]] = [
+            [] for _ in range(self.n_shards)
+        ]
+        self._consolidated: list[tuple[np.ndarray, ...] | None] = [
+            None for _ in range(self.n_shards)
+        ]
+        self.n_occurrences = 0
+        self.insert_batches = 0
+
+    @classmethod
+    def from_partition(cls, partition: KmerHashTablePartition,
+                       boundaries: np.ndarray) -> "ShardedKmerIndex":
+        """Build an index by draining a partition's buffered occurrences.
+
+        The partition's raw buffers are consumed (released), so the caller
+        holds exactly one copy of the occurrence stream afterwards.
+        """
+        index = cls(boundaries)
+        index.insert_batch(*partition.drain_occurrences())
+        return index
+
+    def insert_batch(self, codes: np.ndarray, rids: np.ndarray,
+                     positions: np.ndarray, strands: np.ndarray) -> int:
+        """Append one batch of occurrences, bucketing them by code-range shard.
+
+        Within each shard the batch's occurrences keep their relative order
+        and land after everything previously inserted; the retained views'
+        stable sort therefore sees the same total order as a one-shot build
+        over the concatenated stream.  Returns the number of occurrences
+        inserted.
+        """
+        codes = np.asarray(codes, dtype=np.uint64)
+        rids = np.asarray(rids, dtype=np.int64)
+        positions = np.asarray(positions, dtype=np.int64)
+        strands = np.asarray(strands, dtype=bool)
+        if not (codes.size == rids.size == positions.size == strands.size):
+            raise ValueError("codes, rids, positions and strands must have equal length")
+        if codes.size == 0:
+            self.insert_batches += 1
+            return 0
+        shard_of = np.searchsorted(self.boundaries, codes, side="right")
+        for shard in np.unique(shard_of):
+            mask = shard_of == shard
+            self._batches[shard].append(
+                (codes[mask], rids[mask], positions[mask], strands[mask])
+            )
+            self._consolidated[shard] = None
+        self.n_occurrences += int(codes.size)
+        self.insert_batches += 1
+        return int(codes.size)
+
+    # -- raw per-shard access ------------------------------------------------
+
+    def shard_occurrences(self, shard: int) -> tuple[np.ndarray, ...]:
+        """Shard *shard*'s occurrences ``(codes, rids, positions, strands)``.
+
+        Concatenated in insertion order; consolidated lazily and memoised, so
+        repeated query batches against an unchanged index pay the
+        concatenation once.
+        """
+        cached = self._consolidated[shard]
+        if cached is not None:
+            return cached
+        batches = self._batches[shard]
+        if not batches:
+            empty_i = np.empty(0, dtype=np.int64)
+            arrays = (np.empty(0, dtype=np.uint64), empty_i, empty_i.copy(),
+                      np.empty(0, dtype=bool))
+        elif len(batches) == 1:
+            arrays = batches[0]
+        else:
+            arrays = tuple(
+                np.concatenate([batch[column] for batch in batches])
+                for column in range(4)
+            )
+            self._batches[shard] = [arrays]
+        self._consolidated[shard] = arrays
+        return arrays
+
+    # -- retained views ------------------------------------------------------
+
+    def retained_shard(self, shard: int, min_count: int = 2,
+                       max_count: int | None = None) -> RetainedKmers:
+        """Shard *shard*'s retained k-mers under the count filters."""
+        _validate_count_filters(min_count, max_count)
+        codes, rids, positions, strands = self.shard_occurrences(shard)
+        if codes.size == 0:
+            return RetainedKmers.empty()
+        return _finalize_arrays(codes, rids, positions, strands, min_count, max_count)
+
+    def retained(self, min_count: int = 2,
+                 max_count: int | None = None) -> RetainedKmers:
+        """The whole index's retained k-mers (all shards, ascending codes).
+
+        Shards are contiguous ascending code ranges, so concatenating the
+        per-shard views reproduces a monolithic
+        :meth:`KmerHashTablePartition.finalize` bit for bit — the oracle the
+        incremental parity tests compare against.
+        """
+        shards = [self.retained_shard(s, min_count, max_count)
+                  for s in range(self.n_shards)]
+        non_empty = [s for s in shards if s.n_kmers]
+        if not non_empty:
+            return RetainedKmers.empty()
+        if len(non_empty) == 1:
+            return non_empty[0]
+        offsets = [np.int64(0)]
+        base = 0
+        chunks = []
+        for part in non_empty:
+            chunks.append(part.offsets[1:] + base)
+            base += int(part.offsets[-1])
+        return RetainedKmers(
+            codes=np.concatenate([s.codes for s in non_empty]),
+            offsets=np.concatenate([np.zeros(1, dtype=np.int64)]
+                                   + chunks).astype(np.int64),
+            rids=np.concatenate([s.rids for s in non_empty]),
+            positions=np.concatenate([s.positions for s in non_empty]),
+            strands=np.concatenate([s.strands for s in non_empty]),
+        )
+
+    def merged_shard(
+        self,
+        shard: int,
+        q_codes: np.ndarray,
+        q_rids: np.ndarray,
+        q_positions: np.ndarray,
+        q_strands: np.ndarray,
+        order_key: np.ndarray,
+        n_index_reads: int,
+        min_count: int = 2,
+        max_count: int | None = None,
+    ) -> RetainedKmers:
+        """One shard of the (index ∪ query batch) retained table.
+
+        The serve phase's core primitive: merge shard *shard*'s resident
+        occurrences with a query batch's occurrences routed to this rank,
+        apply the count filters to the **union** counts, and keep only k-mers
+        with at least one occurrence on *each* side — the groups whose pair
+        expansion can produce a query-vs-index pair (single-sided groups
+        would only produce pairs the cross filter drops anyway).
+
+        Within each group the merged occurrences are ordered by
+        ``(order_key[rid], position)``, where *order_key* is the per-read
+        arrival ordinal of the emulated one-shot run over (index ∪ query)
+        reads — this reproduces the hash-table stage's arrival order
+        (superstep, source rank, in-batch extraction order), which is what
+        makes the downstream pair generation (and its ``swapped`` owner
+        annotation) bit-identical to that run.
+
+        Parameters
+        ----------
+        q_codes / q_rids / q_positions / q_strands:
+            The query batch's occurrences owned by this rank, restricted to
+            this shard's code range (RIDs are global: ``n_index_reads +
+            query position``).
+        order_key:
+            RID → arrival ordinal of the emulated union run (covers index
+            and query RIDs).
+        n_index_reads:
+            RIDs below this bound are index reads, at or above it query reads.
+        """
+        _validate_count_filters(min_count, max_count)
+        i_codes, i_rids, i_positions, i_strands = self.shard_occurrences(shard)
+        codes = np.concatenate([i_codes, np.asarray(q_codes, dtype=np.uint64)])
+        if codes.size == 0:
+            return RetainedKmers.empty()
+        rids = np.concatenate([i_rids, np.asarray(q_rids, dtype=np.int64)])
+        positions = np.concatenate(
+            [i_positions, np.asarray(q_positions, dtype=np.int64)])
+        strands = np.concatenate([i_strands, np.asarray(q_strands, dtype=bool)])
+
+        order = np.lexsort((positions, order_key[rids], codes))
+        codes, rids, positions, strands = (
+            codes[order], rids[order], positions[order], strands[order]
+        )
+
+        unique_codes, group_starts, counts = np.unique(
+            codes, return_index=True, return_counts=True
+        )
+        group_of = np.repeat(np.arange(unique_codes.size, dtype=np.int64), counts)
+        index_counts = np.bincount(
+            group_of[rids < n_index_reads], minlength=unique_codes.size
+        )
+        keep = (counts >= min_count) & (index_counts >= 1) & (index_counts < counts)
+        if max_count is not None:
+            keep &= counts <= max_count
+
+        kept_starts = group_starts[keep]
+        kept_counts = counts[keep]
+        offsets = np.concatenate(([0], np.cumsum(kept_counts))).astype(np.int64)
+        if kept_counts.size:
+            take = (np.repeat(kept_starts - offsets[:-1], kept_counts)
+                    + np.arange(int(offsets[-1]), dtype=np.int64))
+        else:
+            take = np.empty(0, dtype=np.int64)
+        return RetainedKmers(
+            codes=unique_codes[keep].astype(np.uint64),
+            offsets=offsets,
+            rids=rids[take].astype(np.int64),
+            positions=positions[take].astype(np.int64),
+            strands=strands[take].astype(bool),
+        )
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def nbytes(self) -> int:
+        """Resident memory of the occurrence buffers in bytes."""
+        total = 0
+        for batches in self._batches:
+            for batch in batches:
+                total += sum(int(a.nbytes) for a in batch)
+        return total
+
+    def digest(self) -> int:
+        """A 63-bit content digest of the index, independent of insertion order.
+
+        Each shard's occurrences are canonically sorted before hashing, so
+        two indexes holding the same occurrence *set* — however it was
+        batched or which backend built it — digest identically.  Surfaced as
+        a per-rank counter so the cross-backend index-parity tests can
+        compare resident indexes they cannot reach directly (process-backend
+        workers own theirs).
+        """
+        h = hashlib.blake2b(digest_size=8)
+        for shard in range(self.n_shards):
+            codes, rids, positions, strands = self.shard_occurrences(shard)
+            order = np.lexsort((strands, positions, rids, codes))
+            h.update(np.ascontiguousarray(codes[order]).tobytes())
+            h.update(np.ascontiguousarray(rids[order]).tobytes())
+            h.update(np.ascontiguousarray(positions[order]).tobytes())
+            h.update(np.ascontiguousarray(strands[order]).tobytes())
+        return int.from_bytes(h.digest(), "big") >> 1

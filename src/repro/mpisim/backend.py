@@ -797,6 +797,18 @@ class _RankPool:
 
     Because jobs cross a queue, pooled rank programs and their arguments must
     be picklable even under the ``fork`` start method.
+
+    Beyond amortising forks, a parked worker is a *session*: module-level
+    state it built during one run is still there for the next.  The pipeline
+    leans on this twice — the persistent read caches
+    (``repro.core.stages._PERSISTENT_READ_CACHES``) survive between pooled
+    runs over the same read set, and the serve phase's resident k-mer
+    indexes (``repro.core.stages._RESIDENT_INDEXES``) stay loaded between
+    ``run_index_build`` and the ``run_query_batch`` invocations that probe
+    them, which is what lets a query batch skip the index build entirely
+    (counter ``index_reuse_hits``).  Both registries key their entries by a
+    content-derived generation tag, so a worker reused for different data
+    evicts the stale generation instead of serving it.
     """
 
     def __init__(self, ctx, start_method: str, n_ranks: int):
@@ -946,16 +958,22 @@ def active_rank_pools() -> int:
 
 
 def rank_pool_stats() -> list[dict[str, int | str]]:
-    """Per-pool usage statistics (bench sweeps report these).
+    """Per-pool usage statistics (bench sweeps and ``--pool-stats`` report these).
 
-    Returns one entry per live pool with its start method, rank count, and
-    the number of ``spmd_run`` invocations it has served — the forks the
-    pool amortised are ``(runs_completed - 1) * n_ranks`` per pool.
+    Returns one entry per live pool with its start method, rank count, the
+    number of ``spmd_run`` invocations it has served, and
+    ``forks_amortised`` — the worker forks the pool's reuse avoided,
+    ``(runs_completed - 1) * n_ranks``.  Pooled workers also keep per-rank
+    state resident between runs (the persistent read caches and the serve
+    phase's resident k-mer indexes live in the worker processes), so
+    ``runs_completed > 1`` is the precondition for every cross-run reuse
+    counter the pipeline reports.
     """
     with _POOLS_LOCK:
         return [
             {"start_method": start_method, "n_ranks": n_ranks,
-             "runs_completed": pool.runs_completed}
+             "runs_completed": pool.runs_completed,
+             "forks_amortised": max(0, pool.runs_completed - 1) * n_ranks}
             for (start_method, n_ranks), pool in _POOLS.items()
         ]
 

@@ -1,0 +1,155 @@
+"""Incremental index parity: ``insert_batch`` splits vs one-shot ``finalize``.
+
+The serve phase's resident :class:`~repro.kmers.hashtable.ShardedKmerIndex`
+is built incrementally (``insert_batch``), while the batch pipeline builds
+its table in one finalise over the buffered occurrences.  These tests pin
+the equivalence the whole build/serve split rests on: any split of the same
+occurrence stream — however batched, for any shard count — yields retained
+views bit-identical to the one-shot
+:meth:`~repro.kmers.hashtable.KmerHashTablePartition.finalize` oracle, and
+the pipeline-level index digest agrees across runtime backends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DibellaPipeline, PipelineConfig
+from repro.core.stages import reset_persistent_read_caches, reset_resident_indexes
+from repro.kmers.hashtable import (
+    KmerHashTablePartition,
+    RetainedKmers,
+    ShardedKmerIndex,
+    shard_code_boundaries,
+)
+from repro.mpisim.backend import shutdown_rank_pools
+from repro.mpisim.topology import Topology
+from repro.seq.kmer import KmerSpec
+
+
+K = 8  # small code space so counts cross min/max thresholds often
+
+
+def _occurrence_stream(rng: np.random.Generator, n: int):
+    """A synthetic occurrence stream with heavy code reuse (dense groups)."""
+    codes = rng.integers(0, 4**K, size=n, dtype=np.uint64) % np.uint64(997)
+    rids = rng.integers(0, 40, size=n, dtype=np.int64)
+    positions = rng.integers(0, 5000, size=n, dtype=np.int64)
+    strands = rng.integers(0, 2, size=n, dtype=np.int64).astype(bool)
+    return codes, rids, positions, strands
+
+
+def _oracle(codes, rids, positions, strands, min_count, max_count) -> RetainedKmers:
+    """The batch pipeline's one-shot build over the same stream."""
+    partition = KmerHashTablePartition()
+    partition.accept_all_keys()
+    partition.add_occurrences(codes, rids, positions, strands)
+    return partition.finalize(min_count=min_count, max_count=max_count)
+
+
+def _assert_retained_equal(got: RetainedKmers, expected: RetainedKmers) -> None:
+    np.testing.assert_array_equal(got.codes, expected.codes)
+    np.testing.assert_array_equal(got.offsets, expected.offsets)
+    np.testing.assert_array_equal(got.rids, expected.rids)
+    np.testing.assert_array_equal(got.positions, expected.positions)
+    np.testing.assert_array_equal(got.strands, expected.strands)
+
+
+@pytest.mark.parametrize("n_shards", [1, 3, 4])
+@pytest.mark.parametrize("n_batches", [1, 2, 7])
+def test_insert_batch_splits_match_one_shot_finalize(n_shards, n_batches):
+    rng = np.random.default_rng(42)
+    codes, rids, positions, strands = _occurrence_stream(rng, 3000)
+    expected = _oracle(codes, rids, positions, strands, min_count=2, max_count=12)
+
+    index = ShardedKmerIndex(shard_code_boundaries(K, n_shards))
+    bounds = [codes.size * i // n_batches for i in range(n_batches + 1)]
+    for lo, hi in zip(bounds[:-1], bounds[1:]):
+        index.insert_batch(codes[lo:hi], rids[lo:hi], positions[lo:hi],
+                           strands[lo:hi])
+
+    assert index.n_shards == n_shards
+    assert index.n_occurrences == codes.size
+    _assert_retained_equal(index.retained(min_count=2, max_count=12), expected)
+
+
+@pytest.mark.parametrize("n_shards", [1, 4])
+def test_shard_views_concatenate_to_the_whole(n_shards):
+    rng = np.random.default_rng(7)
+    codes, rids, positions, strands = _occurrence_stream(rng, 1500)
+    index = ShardedKmerIndex(shard_code_boundaries(K, n_shards))
+    index.insert_batch(codes, rids, positions, strands)
+
+    whole = index.retained(min_count=2, max_count=None)
+    parts = [index.retained_shard(s, min_count=2, max_count=None)
+             for s in range(n_shards)]
+    assert sum(p.n_kmers for p in parts) == whole.n_kmers
+    np.testing.assert_array_equal(
+        np.concatenate([p.codes for p in parts]), whole.codes)
+    np.testing.assert_array_equal(
+        np.concatenate([p.rids for p in parts]), whole.rids)
+
+
+def test_digest_is_insertion_order_independent():
+    rng = np.random.default_rng(11)
+    codes, rids, positions, strands = _occurrence_stream(rng, 800)
+
+    forward = ShardedKmerIndex(shard_code_boundaries(K, 4))
+    forward.insert_batch(codes, rids, positions, strands)
+
+    # Same occurrence set, inserted in reverse in two batches.
+    rev = slice(None, None, -1)
+    backward = ShardedKmerIndex(shard_code_boundaries(K, 4))
+    backward.insert_batch(codes[rev][:400], rids[rev][:400],
+                          positions[rev][:400], strands[rev][:400])
+    backward.insert_batch(codes[rev][400:], rids[rev][400:],
+                          positions[rev][400:], strands[rev][400:])
+
+    assert forward.digest() == backward.digest()
+
+    # A different stream digests differently (sanity, not a collision proof).
+    other = ShardedKmerIndex(shard_code_boundaries(K, 4))
+    other.insert_batch(codes, rids, positions + 1, strands)
+    assert forward.digest() != other.digest()
+
+
+def test_from_partition_drains_the_buffers():
+    rng = np.random.default_rng(23)
+    codes, rids, positions, strands = _occurrence_stream(rng, 600)
+    partition = KmerHashTablePartition()
+    partition.accept_all_keys()
+    partition.add_occurrences(codes, rids, positions, strands)
+    expected = _oracle(codes, rids, positions, strands, min_count=2, max_count=None)
+
+    index = ShardedKmerIndex.from_partition(partition,
+                                            shard_code_boundaries(K, 3))
+    assert partition.n_occurrences_buffered == 0  # buffers were released
+    _assert_retained_equal(index.retained(min_count=2, max_count=None), expected)
+
+
+@pytest.mark.slow
+def test_pipeline_index_digest_matches_across_backends(micro_dataset):
+    """build_index produces content-identical resident indexes on both backends.
+
+    The process backend's indexes live in worker processes the test cannot
+    reach, so the comparison goes through the ``index_digest`` counter — an
+    insertion-order-independent content hash summed over ranks.
+    """
+    config = PipelineConfig(kmer=KmerSpec(k=15), coverage_hint=12.0,
+                            error_rate_hint=0.08)
+    topology = Topology.single_node(2)
+    digests = {}
+    try:
+        for backend in ("thread", "process"):
+            pipeline = DibellaPipeline(config=config.with_backend(backend),
+                                       topology=topology)
+            result = pipeline.build_index(micro_dataset.reads)
+            digests[backend] = result.counters["index_digest"]
+            assert result.counters["index_build_runs"] == 2
+            assert result.counters["index_retained_kmers"] > 0
+    finally:
+        shutdown_rank_pools()
+        reset_persistent_read_caches()
+        reset_resident_indexes()
+    assert digests["thread"] == digests["process"]

@@ -1,0 +1,197 @@
+"""Ablation: minimizer sketch window vs exchange volume, table size, recall.
+
+The minimizer seed mode (``PipelineConfig.seed_mode = "minimizer"``) keeps
+only the minimum-hash k-mer per window of w, so stages 1-3 exchange and
+table an expected ``2/(w+1)`` of the k-mer stream.  This bench quantifies
+the trade on one synthetic 30x data set: for the reliable baseline and each
+w in the sweep it runs the full pipeline and reports
+
+* **exchanged k-mer bytes** — the stage 1-3 wire volume
+  (``bloom_payload_bytes + hashtable_payload_bytes + overlap_payload_bytes``),
+* **retained-table peak bytes** — the largest grouped shard any rank held,
+* **sketch density** (ppm of extracted k-mers surviving the sketch),
+* **wall seconds**, and
+* **overlap recall** — the fraction of the baseline's *true* overlap pairs
+  (detected pairs that are genuine per the simulator's ground-truth layout)
+  the sketched run still detects.
+
+The CI gate (the acceptance bar of the minimizer mode): at w=11 the sketch
+must cut the exchanged stage 1-3 k-mer bytes >= 3x and the retained-table
+peak >= 2x while recovering >= 95% of the baseline's true overlaps.  Like
+the backend-scaling gates it is enforced only on hosts with at least
+``RANKS`` cores (the numbers are still reported elsewhere).
+
+Runs under pytest (``python -m pytest benchmarks/bench_ablation_seed_sketch.py``)
+or standalone (``python benchmarks/bench_ablation_seed_sketch.py``); rows
+land in ``benchmarks/results/ablation_seed_sketch.txt``.  Environment knobs:
+``REPRO_BENCH_SKETCH_GENOME`` (default 6000 bp),
+``REPRO_BENCH_SKETCH_WINDOWS`` (comma list, default ``1,5,11,19``).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import PipelineConfig
+from repro.core.driver import run_dibella
+from repro.data.datasets import DatasetSpec, generate_dataset, true_overlaps
+from repro.data.genome import GenomeSpec
+from repro.data.reads import ReadSimSpec
+from repro.seq.kmer import KmerSpec
+
+GENOME_LENGTH = int(os.environ.get("REPRO_BENCH_SKETCH_GENOME", "6000"))
+WINDOWS = tuple(
+    int(w) for w in os.environ.get("REPRO_BENCH_SKETCH_WINDOWS",
+                                   "1,5,11,19").split(","))
+RANKS = 4
+GATE_WINDOW = 11
+GATE_VOLUME_RATIO = 3.0
+GATE_TABLE_RATIO = 2.0
+GATE_RECALL = 0.95
+MIN_OVERLAP = 500
+
+
+def _workload():
+    spec = DatasetSpec(
+        name="seed-sketch-ablation",
+        genome=GenomeSpec(length=GENOME_LENGTH, repeat_fraction=0.02,
+                          repeat_length=300, seed=977),
+        reads=ReadSimSpec(coverage=30.0, mean_read_length=1000,
+                          min_read_length=400, error_rate=0.05, seed=978),
+    )
+    return generate_dataset(spec)
+
+
+def _config(seed_mode: str, window: int) -> PipelineConfig:
+    config = PipelineConfig(coverage_hint=30.0, error_rate_hint=0.05,
+                            kmer=KmerSpec(k=17))
+    return config.with_seed_mode(seed_mode, window)
+
+
+def _exchanged_kmer_bytes(counters: dict[str, int]) -> int:
+    """The stage 1-3 wire volume the sketch attacks."""
+    return (counters["bloom_payload_bytes"]
+            + counters["hashtable_payload_bytes"]
+            + counters["overlap_payload_bytes"])
+
+
+def measure_seed_sketch() -> list[dict[str, float]]:
+    dataset = _workload()
+    truth = set(true_overlaps(list(dataset.reads), GENOME_LENGTH,
+                              min_overlap=MIN_OVERLAP))
+
+    rows: list[dict[str, float]] = []
+    base_true: set | None = None
+    baseline: dict[str, float] | None = None
+    for mode, window in [("reliable", 1)] + [("minimizer", w) for w in WINDOWS]:
+        start = time.perf_counter()
+        result = run_dibella(dataset.reads, config=_config(mode, window),
+                             n_nodes=1, ranks_per_node=RANKS)
+        wall = time.perf_counter() - start
+        counters = result.counters
+        detected = result.overlap_pairs()
+        if base_true is None:
+            # Recall reference: the baseline's detected pairs that are
+            # genuine overlaps per the simulator's ground-truth layout.
+            base_true = detected & truth
+        true_found = len(detected & base_true)
+        row = {
+            "mode": mode,
+            "window": float(window),
+            "density_ppm": float(counters["sketch_density_ppm"]),
+            "exchanged_kmer_bytes": float(_exchanged_kmer_bytes(counters)),
+            "retained_table_peak_bytes": float(
+                counters["retained_table_peak_bytes"]),
+            "overlap_pairs": float(len(detected)),
+            "recall": true_found / len(base_true) if base_true else 1.0,
+            "wall_seconds": wall,
+        }
+        if baseline is None:
+            baseline = row
+        row["volume_ratio"] = (baseline["exchanged_kmer_bytes"]
+                               / max(1.0, row["exchanged_kmer_bytes"]))
+        row["table_ratio"] = (baseline["retained_table_peak_bytes"]
+                              / max(1.0, row["retained_table_peak_bytes"]))
+        rows.append(row)
+    return rows
+
+
+def format_report(rows: list[dict[str, float]]) -> str:
+    gate_active = (os.cpu_count() or 1) >= RANKS
+    lines = [
+        "seed-sketch ablation: minimizer window vs stage 1-3 volume, "
+        f"table peak, recall ({GENOME_LENGTH} bp genome, 30x, error 0.05, "
+        f"k=17, {RANKS} ranks)",
+        f"  gate at w={GATE_WINDOW}: volume >= {GATE_VOLUME_RATIO:.0f}x, "
+        f"table >= {GATE_TABLE_RATIO:.0f}x, recall >= {GATE_RECALL:.0%} "
+        + ("(enforced)" if gate_active else
+           f"(not enforced: fewer than {RANKS} cores)"),
+        f"  {'mode':>9} {'w':>3} {'density':>8} {'kmer wire':>10} "
+        f"{'volume':>7} {'table peak':>10} {'table':>6} {'pairs':>6} "
+        f"{'recall':>7} {'wall':>7}",
+    ]
+    for row in rows:
+        lines.append(
+            f"  {row['mode']:>9} {row['window']:>3.0f} "
+            f"{row['density_ppm'] / 1e4:>7.1f}% "
+            f"{row['exchanged_kmer_bytes'] / 1e6:>8.2f}MB "
+            f"{row['volume_ratio']:>6.2f}x "
+            f"{row['retained_table_peak_bytes'] / 1e3:>8.1f}kB "
+            f"{row['table_ratio']:>5.2f}x {row['overlap_pairs']:>6.0f} "
+            f"{row['recall']:>6.1%} {row['wall_seconds']:>6.2f}s"
+        )
+    return "\n".join(lines)
+
+
+def check_gates(rows: list[dict[str, float]]) -> None:
+    """The w=11 volume/table/recall gate (enforced on >= RANKS-core hosts)."""
+    assert rows and rows[0]["mode"] == "reliable"
+    for row in rows:
+        assert row["recall"] <= 1.0 + 1e-9
+        assert row["exchanged_kmer_bytes"] > 0
+    w1 = next((r for r in rows if r["mode"] == "minimizer" and r["window"] == 1),
+              None)
+    if w1 is not None:
+        # w=1 selects everything: identical volume and overlap count to the
+        # reliable baseline, on any host.
+        assert w1["exchanged_kmer_bytes"] == rows[0]["exchanged_kmer_bytes"]
+        assert w1["overlap_pairs"] == rows[0]["overlap_pairs"]
+        assert w1["recall"] == 1.0
+    if (os.cpu_count() or 1) < RANKS:
+        return
+    gate = next(r for r in rows
+                if r["mode"] == "minimizer" and r["window"] == GATE_WINDOW)
+    assert gate["volume_ratio"] >= GATE_VOLUME_RATIO, (
+        f"w={GATE_WINDOW} cut the stage 1-3 k-mer bytes only "
+        f"{gate['volume_ratio']:.2f}x (< {GATE_VOLUME_RATIO}x)")
+    assert gate["table_ratio"] >= GATE_TABLE_RATIO, (
+        f"w={GATE_WINDOW} shrank the retained-table peak only "
+        f"{gate['table_ratio']:.2f}x (< {GATE_TABLE_RATIO}x)")
+    assert gate["recall"] >= GATE_RECALL, (
+        f"w={GATE_WINDOW} recovered only {gate['recall']:.1%} of the "
+        f"baseline's true overlaps (< {GATE_RECALL:.0%})")
+
+
+def test_seed_sketch_ablation():
+    from conftest import record_rows
+
+    rows = measure_seed_sketch()
+    record_rows("ablation_seed_sketch", format_report(rows))
+    check_gates(rows)
+
+
+if __name__ == "__main__":
+    measured = measure_seed_sketch()
+    report = format_report(measured)
+    print(report)
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "ablation_seed_sketch.txt").write_text(report + "\n",
+                                                          encoding="ascii")
+    check_gates(measured)
+    print("seed-sketch gates passed")

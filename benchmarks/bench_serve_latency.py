@@ -21,7 +21,10 @@ or standalone (``python benchmarks/bench_serve_latency.py``); rows land in
 ``benchmarks/results/serve_latency.txt``.  Environment knobs:
 ``REPRO_BENCH_SERVE_RANKS`` (comma list, default ``2,4``),
 ``REPRO_BENCH_SERVE_GENOME`` (default 8000 bp),
-``REPRO_BENCH_SERVE_BATCHES`` (default 4).
+``REPRO_BENCH_SERVE_BATCHES`` (default 4).  The seed mode column reflects
+``DIBELLA_SEED_MODE`` / ``DIBELLA_MINIMIZER_WINDOW`` (the config defaults
+read them), so ``DIBELLA_SEED_MODE=minimizer python benchmarks/
+bench_serve_latency.py`` measures the sketched serve path.
 """
 
 from __future__ import annotations
@@ -100,6 +103,8 @@ def measure_serve_latency() -> list[dict[str, float]]:
             reset_persistent_read_caches()
             reset_resident_indexes()
         rows.append({
+            "seed_mode": (f"minw{config.minimizer_window}"
+                          if config.seed_mode == "minimizer" else "reliable"),
             "ranks": float(ranks),
             "batches": stats["batches"],
             "query_reads": stats["reads"],
@@ -116,12 +121,13 @@ def format_report(rows: list[dict[str, float]]) -> str:
     lines = [
         "serve latency: warm query batches against a resident index "
         f"({GENOME_LENGTH} bp genome, 30x, process backend + pool)",
-        f"  {'ranks':>5} {'batches':>7} {'reads':>6} {'p50':>9} {'p99':>9} "
+        f"  {'seed mode':>9} {'ranks':>5} {'batches':>7} {'reads':>6} "
+        f"{'p50':>9} {'p99':>9} "
         f"{'reads/s':>8} {'build':>8} {'cold 1-shot':>11}",
     ]
     for row in rows:
         lines.append(
-            f"  {row['ranks']:>5.0f} {row['batches']:>7.0f} "
+            f"  {row['seed_mode']:>9} {row['ranks']:>5.0f} {row['batches']:>7.0f} "
             f"{row['query_reads']:>6.0f} {row['p50_ms']:>7.1f}ms "
             f"{row['p99_ms']:>7.1f}ms {row['reads_per_second']:>8.0f} "
             f"{row['build_seconds']:>7.3f}s {row['cold_oneshot_seconds']:>10.3f}s"

@@ -9,9 +9,12 @@
 #           under the process backend with the persistent rank pool
 #           (DIBELLA_POOL=1) so pooled engine reuse is exercised suite-wide,
 #           with 2-bit wire packing disabled (DIBELLA_WIRE_PACKING=0) so
-#           the ASCII read-exchange fallback stays exercised, and with
+#           the ASCII read-exchange fallback stays exercised, with
 #           double buffering disabled (DIBELLA_DOUBLE_BUFFER=0) so every
-#           stage's bulk-synchronous superstep schedule stays exercised.
+#           stage's bulk-synchronous superstep schedule stays exercised,
+#           and with the minimizer seed mode (DIBELLA_SEED_MODE=minimizer)
+#           so the windowed-sketch front-end of stages 1-3 is exercised
+#           suite-wide.
 #   serve — build/serve smoke (scripts/serve_smoke.py): build a resident
 #           index on a pooled process backend, drain two query batches,
 #           assert zero rebuild counters.  Pure counter checks, runs on
@@ -25,8 +28,11 @@
 #           k-mer stages, pool amortisation — enforced only on hosts with
 #           enough cores — the serve-latency gate: warm query-batch p99
 #           well under the cold one-shot wall, zero rebuilds always
-#           asserted — and the wire-packing byte gate: packed alignment
-#           read payload <= 0.3x raw, always enforced).
+#           asserted — the wire-packing byte gate: packed alignment
+#           read payload <= 0.3x raw, always enforced — and the seed-sketch
+#           ablation gate: minimizer mode at w=11 must cut stage 1-3 k-mer
+#           bytes >= 3x and the retained-table peak >= 2x at >= 95% recall
+#           of the baseline's true overlaps, enforced on >= 4-core hosts).
 #
 # Usage:
 #   scripts/ci.sh          # everything (the tier-1 gate plus the perf gates)
@@ -55,6 +61,9 @@ DIBELLA_WIRE_PACKING=0 python -m pytest tests -m "not slow" -q
 echo "== fast tier: unit tests (bulk-synchronous supersteps, DIBELLA_DOUBLE_BUFFER=0) =="
 DIBELLA_DOUBLE_BUFFER=0 python -m pytest tests -m "not slow" -q
 
+echo "== fast tier: unit tests (minimizer seed mode, DIBELLA_SEED_MODE=minimizer) =="
+DIBELLA_SEED_MODE=minimizer python -m pytest tests -m "not slow" -q
+
 echo "== serve smoke: resident index, 2 query batches, zero rebuilds =="
 python scripts/serve_smoke.py
 
@@ -70,4 +79,7 @@ if [ "$tier" = "all" ]; then
 
     echo "== perf gate: backend scaling =="
     python benchmarks/bench_backend_scaling.py
+
+    echo "== perf gate: seed-sketch ablation (minimizer volume/recall) =="
+    python benchmarks/bench_ablation_seed_sketch.py
 fi

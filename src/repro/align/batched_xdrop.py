@@ -65,12 +65,21 @@ class BatchedExtensionConfig:
 
 
 def _pad_sequences(seqs: list[np.ndarray]) -> np.ndarray:
-    """Stack variable-length code arrays into one padded uint8 matrix."""
+    """Stack variable-length code arrays into one padded uint8 matrix.
+
+    One flat ``np.concatenate`` plus a masked scatter instead of a per-row
+    Python loop: the boolean mask of valid cells is row-major, so assigning
+    the concatenated codes through it fills each row's prefix in order —
+    the rows of the loop version, without row-count interpreter overhead.
+    """
     n = len(seqs)
-    max_len = max((s.size for s in seqs), default=0)
+    lengths = np.fromiter((s.size for s in seqs), dtype=np.int64, count=n)
+    max_len = int(lengths.max(initial=0))
     out = np.full((n, max_len + 1), _PAD, dtype=np.uint8)
-    for i, s in enumerate(seqs):
-        out[i, : s.size] = s
+    if n and lengths.any():
+        flat = np.concatenate(seqs).astype(np.uint8, copy=False)
+        mask = np.arange(max_len + 1, dtype=np.int64)[None, :] < lengths[:, None]
+        out[mask] = flat
     return out
 
 

@@ -89,6 +89,17 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--nodes", type=int, default=1, help="simulated node count")
     run.add_argument("--ranks-per-node", type=int, default=2)
     run.add_argument("--seed-strategy", choices=["one", "d1000", "dk"], default="one")
+    run.add_argument("--seed-mode", choices=["reliable", "minimizer"], default=None,
+                     help="seeding front-end of stages 1-3: 'reliable' (the "
+                          "paper) exchanges every canonical k-mer; 'minimizer' "
+                          "keeps only the minimum-hash k-mer per window of "
+                          "--minimizer-window, cutting stage 1-3 wire bytes "
+                          "and table memory ~w/2-x at a small recall cost "
+                          "(DIBELLA_SEED_MODE has the same effect)")
+    run.add_argument("--minimizer-window", type=int, default=None,
+                     help="minimizer window length w in k-mers (default 11; "
+                          "1 = keep every k-mer; ignored in reliable mode; "
+                          "DIBELLA_MINIMIZER_WINDOW has the same effect)")
     run.add_argument("--backend", choices=["thread", "process"], default=None,
                      help="SPMD runtime backend: threads (default) or one process "
                           "per rank exchanging typed buffers via shared memory")
@@ -145,6 +156,11 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--ranks-per-node", type=int, default=2)
     serve.add_argument("--backend", choices=["thread", "process"], default=None)
     serve.add_argument("--hash-shards", type=int, default=None)
+    serve.add_argument("--seed-mode", choices=["reliable", "minimizer"], default=None,
+                       help="seeding front-end; the index build and every "
+                            "query batch sketch with the same (k, w)")
+    serve.add_argument("--minimizer-window", type=int, default=None,
+                       help="minimizer window length w in k-mers (default 11)")
     serve.add_argument("--pool", action="store_true", default=None,
                        help="force the persistent rank pool on (the service "
                             "already forces it for the process backend — index "
@@ -175,6 +191,11 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--ranks-per-node", type=int, default=2)
     query.add_argument("--backend", choices=["thread", "process"], default=None)
     query.add_argument("--hash-shards", type=int, default=None)
+    query.add_argument("--seed-mode", choices=["reliable", "minimizer"], default=None,
+                       help="seeding front-end; the index build and the query "
+                            "batch sketch with the same (k, w)")
+    query.add_argument("--minimizer-window", type=int, default=None,
+                       help="minimizer window length w in k-mers (default 11)")
     query.add_argument("--read-cache-mb", type=float, default=None)
     query.add_argument("--overlaps-out",
                        help="write the query-vs-index alignments to this TSV file")
@@ -256,6 +277,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         config = config.with_hash_table_shards(args.hash_shards)
     if args.read_cache_mb is not None:
         config = config.with_read_cache_mb(args.read_cache_mb)
+    if args.seed_mode is not None or args.minimizer_window is not None:
+        config = config.with_seed_mode(args.seed_mode or config.seed_mode,
+                                       args.minimizer_window)
     result = run_dibella(reads, config=config, n_nodes=args.nodes,
                          ranks_per_node=args.ranks_per_node, backend=args.backend,
                          pool=args.pool)
@@ -290,6 +314,9 @@ def _serve_config(args: argparse.Namespace) -> PipelineConfig:
         config = config.with_pool(True)
     if getattr(args, "serve_batch_reads", None) is not None:
         config = config.with_serve_batch_reads(args.serve_batch_reads)
+    if args.seed_mode is not None or args.minimizer_window is not None:
+        config = config.with_seed_mode(args.seed_mode or config.seed_mode,
+                                       args.minimizer_window)
     return config
 
 

@@ -60,6 +60,24 @@ class PipelineConfig:
     ----------
     kmer:
         k-mer length and canonicalisation (defaults to 17-mers, §2).
+    seed_mode:
+        Seeding front-end of stages 1-3.  ``"reliable"`` (the paper) extracts
+        and exchanges *every* canonical k-mer; ``"minimizer"`` keeps only the
+        minimum-hash k-mer per window of ``minimizer_window`` consecutive
+        k-mers (:mod:`repro.kmers.minimizer`), so the Bloom filter, the HLL
+        pre-pass, the hash-table exchange, the retained table and pair
+        generation all see an expected ``2/(w+1)`` of the stream — a ~w/2-x
+        cut of stage 1-3 wire bytes and table memory at a small recall cost
+        (measured by ``benchmarks/bench_ablation_seed_sketch.py``).  The
+        serve path sketches index build and query batches with the same
+        (k, w), and the resident-index tag includes the sketch parameters so
+        mismatched build/query modes never share an index.  The default
+        honours ``DIBELLA_SEED_MODE`` (CLI ``--seed-mode``).
+    minimizer_window:
+        Window length w (in k-mers) of the minimizer sketch; ``1`` selects
+        every k-mer (sketching off), larger windows trade seed density for
+        volume.  Ignored in ``"reliable"`` mode.  The default honours
+        ``DIBELLA_MINIMIZER_WINDOW`` (CLI ``--minimizer-window``).
     min_kmer_count:
         Lower bound of the reliable range — k-mers below it are singletons
         and dropped (always 2 in the paper).
@@ -174,6 +192,12 @@ class PipelineConfig:
     """
 
     kmer: KmerSpec = field(default_factory=lambda: KmerSpec(k=17))
+    seed_mode: str = field(
+        default_factory=lambda: os.environ.get("DIBELLA_SEED_MODE", "reliable")
+    )
+    minimizer_window: int = field(
+        default_factory=lambda: int(os.environ.get("DIBELLA_MINIMIZER_WINDOW", "11"))
+    )
     min_kmer_count: int = 2
     high_freq_threshold: int | None = None
     coverage_hint: float | None = None
@@ -217,6 +241,10 @@ class PipelineConfig:
     )
 
     def __post_init__(self) -> None:
+        if self.seed_mode not in ("reliable", "minimizer"):
+            raise ValueError(f"unknown seed mode {self.seed_mode!r}")
+        if self.minimizer_window < 1:
+            raise ValueError("minimizer_window must be >= 1")
         if self.min_kmer_count < 1:
             raise ValueError("min_kmer_count must be >= 1")
         if self.high_freq_threshold is not None and self.high_freq_threshold < self.min_kmer_count:
@@ -342,6 +370,19 @@ class PipelineConfig:
     def with_read_cache_mb(self, read_cache_mb: float) -> "PipelineConfig":
         """Copy of this config bounding each rank's read cache to *read_cache_mb* MiB."""
         return replace(self, read_cache_mb=read_cache_mb)
+
+    def with_seed_mode(
+        self, seed_mode: str, minimizer_window: int | None = None
+    ) -> "PipelineConfig":
+        """Copy of this config with a different seeding front-end (and window)."""
+        if minimizer_window is None:
+            return replace(self, seed_mode=seed_mode)
+        return replace(self, seed_mode=seed_mode, minimizer_window=minimizer_window)
+
+    @property
+    def sketch_window(self) -> int:
+        """The effective sketch window: w in minimizer mode, else 1 (keep all)."""
+        return self.minimizer_window if self.seed_mode == "minimizer" else 1
 
     def with_seed_strategy(self, strategy: SeedStrategy) -> "PipelineConfig":
         """Copy of this config with a different seed strategy (bench helper)."""

@@ -16,6 +16,8 @@ def run_dibella(
     ranks_per_node: int = 4,
     backend: str | None = None,
     pool: bool | None = None,
+    seed_mode: str | None = None,
+    minimizer_window: int | None = None,
 ) -> PipelineResult:
     """Run the diBELLA pipeline on a read set.
 
@@ -38,6 +40,10 @@ def run_dibella(
         Convenience override of ``config.pool`` — True keeps the rank
         processes (and each rank's read cache for this read set) alive
         across runs, amortising startup for repeated invocations.
+    seed_mode / minimizer_window:
+        Convenience overrides of ``config.seed_mode`` /
+        ``config.minimizer_window`` — ``"minimizer"`` seeds stages 1-3 from
+        the windowed-minimizer sketch instead of every canonical k-mer.
 
     Returns
     -------
@@ -59,5 +65,8 @@ def run_dibella(
         config = (config or PipelineConfig()).with_backend(backend)
     if pool is not None:
         config = (config or PipelineConfig()).with_pool(pool)
+    if seed_mode is not None or minimizer_window is not None:
+        base = config or PipelineConfig()
+        config = base.with_seed_mode(seed_mode or base.seed_mode, minimizer_window)
     pipeline = DibellaPipeline(config=config, topology=topology)
     return pipeline.run(readset)

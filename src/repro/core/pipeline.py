@@ -119,6 +119,7 @@ class DibellaPipeline:
         counters = self._aggregate_counters(reports)
         counters["input_kmers"] = counters.get("kmers_parsed", 0)
         counters["high_freq_threshold"] = high_freq_threshold
+        self._record_sketch_density(counters)
 
         return PipelineResult(
             config=config,
@@ -169,7 +170,8 @@ class DibellaPipeline:
         assignments = partition_reads(readset, n_ranks, strategy=config.partition_strategy)
         high_freq_threshold = config.resolve_high_freq_threshold(readset)
         index_tag = (f"{readset.fingerprint()}:k{config.kmer.k}"
-                     f":s{config.hash_table_shards}:r{n_ranks}")
+                     f":s{config.hash_table_shards}:r{n_ranks}"
+                     f":{self._seed_mode_tag(config)}")
         trace = CommTrace(n_ranks)
 
         start = time.perf_counter()
@@ -196,6 +198,7 @@ class DibellaPipeline:
                                            stage_names=_INDEX_BUILD_STAGES)
         counters = self._aggregate_counters(reports)
         counters["high_freq_threshold"] = high_freq_threshold
+        self._record_sketch_density(counters)
 
         return PipelineResult(
             config=config,
@@ -281,6 +284,7 @@ class DibellaPipeline:
         counters = self._aggregate_counters(reports)
         counters["high_freq_threshold"] = high_freq_threshold
         counters["query_reads"] = len(query_reads)
+        self._record_sketch_density(counters)
 
         return PipelineResult(
             config=config,
@@ -333,3 +337,31 @@ class DibellaPipeline:
             for key, value in report.counters.items():
                 counters[key] = counters.get(key, 0) + int(value)
         return counters
+
+    @staticmethod
+    def _seed_mode_tag(config: PipelineConfig) -> str:
+        """The index-tag segment identifying the seeding front-end.
+
+        A resident index built in one seed mode must never serve queries
+        sketched in another (or with another window) — the merged occurrence
+        streams would disagree — so the sketch parameters are part of the
+        index generation tag, like k and the shard count.
+        """
+        if config.seed_mode == "minimizer":
+            return f"minw{config.minimizer_window}"
+        return "reliable"
+
+    @staticmethod
+    def _record_sketch_density(counters: dict[str, int]) -> None:
+        """Derive the reported sketch density from the summed stream counters.
+
+        ``sketch_density_ppm`` = surviving k-mers per million extracted
+        (1,000,000 in reliable mode, ~2e6/(w+1) in minimizer mode).  Computed
+        after cross-rank aggregation from the two summed totals, so it is an
+        exact function of the sketched stream — identical across backends
+        and schedules, preserving the counter-parity invariant.
+        """
+        extracted = counters.get("kmers_extracted_total", 0)
+        if extracted > 0:
+            counters["sketch_density_ppm"] = int(round(
+                1_000_000 * counters.get("kmers_after_sketch", 0) / extracted))

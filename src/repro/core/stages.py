@@ -42,6 +42,7 @@ from repro.kmers.hashtable import (
     shard_code_boundaries,
 )
 from repro.kmers.hyperloglog import HyperLogLog
+from repro.kmers.minimizer import minimizer_mask, sketch_hash
 from repro.mpisim.collectives import bucket_by_destination
 from repro.mpisim.communicator import SimCommunicator
 from repro.overlap.pairs import (
@@ -157,12 +158,27 @@ def _local_batches(local_rids: list[int], batch_reads: int) -> list[list[int]]:
 
 
 def _extract_batch_kmers(
-    readset: ReadSet, rids: list[int], config: PipelineConfig, with_positions: bool
+    readset: ReadSet,
+    rids: list[int],
+    config: PipelineConfig,
+    with_positions: bool,
+    counters: dict[str, int] | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Extract k-mers (and optionally RIDs/positions/strands) from a batch of reads.
 
     The whole batch is encoded and scanned as one concatenated array
     (:func:`repro.seq.kmer.extract_kmers_batch`) — no per-read Python loop.
+
+    This is the single funnel every stage's k-mer stream flows through, so
+    the minimizer sketch (``config.seed_mode == "minimizer"``) is applied
+    here: the extracted stream is reduced to its windowed minima
+    (:func:`repro.kmers.minimizer.minimizer_mask`) before anything
+    downstream — the HLL pre-pass, the Bloom filter, the occurrence
+    exchange, the resident index, or the query route — ever sees it.  The
+    *counters* dict (a rank's ``state.counters``) accumulates
+    ``kmers_extracted_total`` (pre-sketch) and ``kmers_after_sketch``
+    (post-sketch; equal in reliable mode), from which the pipeline derives
+    the reported ``sketch_density_ppm``.
     """
     empty_i = np.empty(0, dtype=np.int64)
     if not rids:
@@ -171,6 +187,18 @@ def _extract_batch_kmers(
     codes, read_index, positions, strands = extract_kmers_batch(
         sequences, config.kmer, with_strand=with_positions
     )
+    if counters is not None:
+        counters["kmers_extracted_total"] = (
+            counters.get("kmers_extracted_total", 0) + int(codes.size))
+    if config.seed_mode == "minimizer":
+        keep = minimizer_mask(sketch_hash(codes), read_index,
+                              config.minimizer_window)
+        codes, read_index, positions = codes[keep], read_index[keep], positions[keep]
+        if strands.size:
+            strands = strands[keep]
+    if counters is not None:
+        counters["kmers_after_sketch"] = (
+            counters.get("kmers_after_sketch", 0) + int(codes.size))
     if with_positions:
         rid_arr = np.asarray(rids, dtype=np.int64)[read_index]
         return codes, rid_arr, positions, strands
@@ -235,7 +263,8 @@ def bloom_filter_stage(comm: SimCommunicator, state: _RankState) -> None:
         batch_codes: list[np.ndarray | None] = []
         for rids in batches:
             codes, _, _, _ = _extract_batch_kmers(state.readset, rids, config,
-                                                  with_positions=False)
+                                                  with_positions=False,
+                                                  counters=state.counters)
             sketch.add_many(codes)
             batch_codes.append(codes)
         batch_nbytes = [int(codes.nbytes) for codes in batch_codes]
@@ -261,6 +290,7 @@ def bloom_filter_stage(comm: SimCommunicator, state: _RankState) -> None:
 
     kmers_parsed = 0
     kmers_received = 0
+    payload_bytes = 0
 
     def produce(step: int) -> list[np.ndarray]:
         nonlocal kmers_parsed
@@ -276,8 +306,9 @@ def bloom_filter_stage(comm: SimCommunicator, state: _RankState) -> None:
         return [np.empty(0, dtype=np.uint64) for _ in range(comm.size)]
 
     def consume(step: int, received: list) -> None:
-        nonlocal kmers_received
+        nonlocal kmers_received, payload_bytes
         chunks = [np.asarray(c, dtype=np.uint64) for c in received if np.asarray(c).size]
+        payload_bytes += sum(int(c.nbytes) for c in chunks)
         if chunks:
             incoming = np.concatenate(chunks)
             kmers_received += int(incoming.size)
@@ -297,6 +328,10 @@ def bloom_filter_stage(comm: SimCommunicator, state: _RankState) -> None:
     state.local_bytes["bloom"] = float(bloom.nbytes + state.hashtable.memory_nbytes())
     state.counters["kmers_parsed"] = kmers_parsed
     state.counters["kmers_received_bloom"] = kmers_received
+    # Received-side wire bytes of this stage's k-mer exchange (summed over
+    # all ranks they equal the sent volume); a pure function of the sketched
+    # k-mer stream, so bit-identical across backends and schedules.
+    state.counters["bloom_payload_bytes"] = payload_bytes
     state.counters["distinct_keys"] = n_keys
     state.counters["bloom_nbytes"] = bloom.nbytes
     state.counters["bloom_stash_total_bytes"] = stash_total
@@ -358,11 +393,13 @@ def hash_table_stage(comm: SimCommunicator, state: _RankState) -> None:
 
     occurrences_received = 0
     occurrences_stored = 0
+    payload_bytes = 0
 
     def produce(step: int) -> list[np.ndarray]:
         rids = batches[step] if step < len(batches) else []
         codes, rid_arr, pos_arr, strand_arr = _extract_batch_kmers(
-            state.readset, rids, config, with_positions=True
+            state.readset, rids, config, with_positions=True,
+            counters=state.counters,
         )
         if codes.size:
             owners = owner_of(codes, comm.size)
@@ -381,9 +418,10 @@ def hash_table_stage(comm: SimCommunicator, state: _RankState) -> None:
         return [np.empty((0, 2), dtype=np.uint64) for _ in range(comm.size)]
 
     def consume(step: int, received: list) -> None:
-        nonlocal occurrences_received, occurrences_stored
+        nonlocal occurrences_received, occurrences_stored, payload_bytes
         chunks = [np.asarray(c, dtype=np.uint64) for c in received
                   if np.asarray(c).size]
+        payload_bytes += sum(int(c.nbytes) for c in chunks)
         if chunks:
             incoming = np.concatenate(chunks, axis=0)
             occurrences_received += int(incoming.shape[0])
@@ -406,6 +444,7 @@ def hash_table_stage(comm: SimCommunicator, state: _RankState) -> None:
     state.local_bytes["hashtable"] = float(state.hashtable.memory_nbytes())
     state.counters["kmers_received_hashtable"] = occurrences_received
     state.counters["occurrences_stored"] = occurrences_stored
+    state.counters["hashtable_payload_bytes"] = payload_bytes
     state.counters["hashtable_exchange_double_buffered"] = int(outcome.double_buffered)
     state.counters["hashtable_steps_overlapped"] = outcome.steps_overlapped
 
@@ -469,6 +508,7 @@ def overlap_stage(comm: SimCommunicator, state: _RankState) -> None:
     total_chunks = 0
     total_supersteps = 0
     chunks_overlapped = 0
+    payload_bytes = 0
     received_batches: list[PairBatch] = []
 
     def make_send(retained: RetainedKmers, chunks: list[tuple[int, int]],
@@ -489,6 +529,8 @@ def overlap_stage(comm: SimCommunicator, state: _RankState) -> None:
         return send, len(pairs)
 
     def consume(step: int, received: list) -> None:
+        nonlocal payload_bytes
+        payload_bytes += sum(int(np.asarray(c).nbytes) for c in received)
         received_batches.extend(
             PairBatch.from_matrix(np.asarray(c)) for c in received
         )
@@ -563,6 +605,7 @@ def overlap_stage(comm: SimCommunicator, state: _RankState) -> None:
     state.counters["overlap_pairs"] = len(state.overlaps)
     state.counters["alignment_tasks"] = len(state.tasks)
     state.counters["overlap_exchange_chunks"] = total_chunks
+    state.counters["overlap_payload_bytes"] = payload_bytes
     # All of these are functions of the config and the chunk/shard layout
     # only, so they stay bit-identical across runtime backends (the
     # counter-parity invariant).
@@ -1232,13 +1275,17 @@ def run_query_batch(
 
     query_kmers_parsed = 0
     query_kmers_routed = 0
+    route_payload_bytes = 0
     received_meta: list[np.ndarray] = []
 
     def route_produce(step: int) -> list[np.ndarray]:
         nonlocal query_kmers_parsed
         rids = batches[step] if step < len(batches) else []
+        # The sketch funnel: query k-mers are reduced with the same (k, w)
+        # the index build used, so build and serve see consistent seed sets.
         codes, rid_arr, pos_arr, strand_arr = _extract_batch_kmers(
-            state.readset, rids, config, with_positions=True
+            state.readset, rids, config, with_positions=True,
+            counters=state.counters,
         )
         query_kmers_parsed += int(codes.size)
         if codes.size:
@@ -1253,9 +1300,10 @@ def run_query_batch(
         return [np.empty((0, 2), dtype=np.uint64) for _ in range(comm.size)]
 
     def route_consume(step: int, received: list) -> None:
-        nonlocal query_kmers_routed
+        nonlocal query_kmers_routed, route_payload_bytes
         chunks = [np.asarray(c, dtype=np.uint64) for c in received
                   if np.asarray(c).size]
+        route_payload_bytes += sum(int(c.nbytes) for c in chunks)
         if chunks:
             incoming = np.concatenate(chunks, axis=0)
             query_kmers_routed += int(incoming.shape[0])
@@ -1287,6 +1335,7 @@ def run_query_batch(
     state.local_bytes["query_route"] = float(index.nbytes + q_codes.nbytes * 4)
     state.counters["query_kmers_parsed"] = query_kmers_parsed
     state.counters["query_kmers_routed"] = query_kmers_routed
+    state.counters["query_route_payload_bytes"] = route_payload_bytes
     state.counters["query_route_double_buffered"] = int(route_outcome.double_buffered)
     state.counters["query_route_steps_overlapped"] = route_outcome.steps_overlapped
 
@@ -1302,9 +1351,12 @@ def run_query_batch(
     total_chunks = 0
     total_supersteps = 0
     chunks_overlapped = 0
+    payload_bytes = 0
     received_batches: list[PairBatch] = []
 
     def consume(step: int, received: list) -> None:
+        nonlocal payload_bytes
+        payload_bytes += sum(int(np.asarray(c).nbytes) for c in received)
         received_batches.extend(
             PairBatch.from_matrix(np.asarray(c)) for c in received
         )
@@ -1384,6 +1436,7 @@ def run_query_batch(
     state.counters["overlap_pairs"] = len(state.overlaps)
     state.counters["alignment_tasks"] = len(state.tasks)
     state.counters["overlap_exchange_chunks"] = total_chunks
+    state.counters["overlap_payload_bytes"] = payload_bytes
     state.counters["overlap_exchange_double_buffered"] = int(
         bool(double_buffer) and total_supersteps > 0)
     state.counters["overlap_chunks_overlapped"] = chunks_overlapped

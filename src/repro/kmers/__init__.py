@@ -15,6 +15,9 @@ of diBELLA's first two pipeline stages:
   k-mer → [(read id, position)] hash table of stage 2 (§7).
 * :mod:`repro.kmers.reliable` — the BELLA reliable-k-mer statistical model:
   optimal k, the high-frequency cutoff m, and cardinality estimates (§2, §3).
+* :mod:`repro.kmers.minimizer` — the windowed-minimizer sketch front-end
+  (``seed_mode="minimizer"``): keeps only the minimum-hash k-mer per window
+  of w, cutting stage 1-3 exchange volume and table size to ~2/(w+1).
 """
 
 from repro.kmers.hashing import mix64, owner_of, hash_with_seed
@@ -22,6 +25,15 @@ from repro.kmers.bloom import BloomFilter
 from repro.kmers.hyperloglog import HyperLogLog
 from repro.kmers.counter import count_kmers, KmerCounter, kmer_frequency_histogram
 from repro.kmers.hashtable import KmerHashTablePartition, RetainedKmers
+from repro.kmers.minimizer import (
+    DEFAULT_MINIMIZER_WINDOW,
+    SKETCH_HASH_SEED,
+    expected_density,
+    minimizer_mask,
+    sketch_hash,
+    sketch_kmers_batch,
+    sketch_kmers_with_strand,
+)
 from repro.kmers.reliable import (
     probability_correct_kmer,
     probability_shared_kmer,
@@ -44,6 +56,13 @@ __all__ = [
     "kmer_frequency_histogram",
     "KmerHashTablePartition",
     "RetainedKmers",
+    "DEFAULT_MINIMIZER_WINDOW",
+    "SKETCH_HASH_SEED",
+    "expected_density",
+    "minimizer_mask",
+    "sketch_hash",
+    "sketch_kmers_batch",
+    "sketch_kmers_with_strand",
     "probability_correct_kmer",
     "probability_shared_kmer",
     "optimal_k",

@@ -426,3 +426,41 @@ class TestTaskBatch:
         aligner = BatchAligner(sequences=seqs, kernel="xdrop", k=17)
         results = aligner.align_all(batch)
         assert len(results) == 1 and results[0].score > 30
+
+
+class TestPadSequences:
+    """The vectorised _pad_sequences against its per-row loop reference."""
+
+    @staticmethod
+    def _reference(seqs):
+        from repro.align.batched_xdrop import _PAD
+        n = len(seqs)
+        max_len = max((s.size for s in seqs), default=0)
+        out = np.full((n, max_len + 1), _PAD, dtype=np.uint8)
+        for i, s in enumerate(seqs):
+            out[i, : s.size] = s
+        return out
+
+    @given(st.lists(st.lists(st.integers(min_value=0, max_value=3),
+                             min_size=0, max_size=60),
+                    min_size=0, max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_loop_reference(self, rows):
+        from repro.align.batched_xdrop import _pad_sequences
+        seqs = [np.asarray(row, dtype=np.uint8) for row in rows]
+        np.testing.assert_array_equal(_pad_sequences(seqs),
+                                      self._reference(seqs))
+
+    def test_edge_shapes(self):
+        from repro.align.batched_xdrop import _PAD, _pad_sequences
+        # No tasks -> a (0, 1) matrix; all-empty -> an all-PAD column.
+        assert _pad_sequences([]).shape == (0, 1)
+        all_empty = _pad_sequences([np.empty(0, dtype=np.uint8)] * 3)
+        assert all_empty.shape == (3, 1) and (all_empty == _PAD).all()
+        ragged = _pad_sequences([np.array([1, 2, 3], dtype=np.uint8),
+                                 np.empty(0, dtype=np.uint8),
+                                 np.array([0], dtype=np.uint8)])
+        np.testing.assert_array_equal(
+            ragged,
+            np.array([[1, 2, 3, _PAD], [_PAD] * 4, [0, _PAD, _PAD, _PAD]],
+                     dtype=np.uint8))

@@ -3,6 +3,10 @@
 #
 # Tiers:
 #   docs  — dead-link check over README.md and docs/ (always runs first).
+#   lint  — spmdlint (src/repro/analysis): the SPMD correctness rules
+#           SL001-SL005 over src/, zero findings required; plus a ruff
+#           companion pass (pinned ruff.toml) when a ruff binary is on
+#           PATH (the container does not ship one, so it is gated).
 #   fast  — unit tests only (-m "not slow"), a few seconds; run on every change.
 #           Runs five times: under the default thread backend, under the
 #           multiprocess shared-memory backend (DIBELLA_BACKEND=process),
@@ -14,7 +18,10 @@
 #           stage's bulk-synchronous superstep schedule stays exercised,
 #           and with the minimizer seed mode (DIBELLA_SEED_MODE=minimizer)
 #           so the windowed-sketch front-end of stages 1-3 is exercised
-#           suite-wide.
+#           suite-wide.  A seventh pass runs with the runtime sanitizer
+#           armed (DIBELLA_SANITIZE=1): collective congruence checks,
+#           split-phase lifecycle guards and the hang watchdog across the
+#           whole fast tier, proving the checks are observation-only.
 #   serve — build/serve smoke (scripts/serve_smoke.py): build a resident
 #           index on a pooled process backend, drain two query batches,
 #           assert zero rebuild counters.  Pure counter checks, runs on
@@ -46,6 +53,16 @@ tier="${1:-all}"
 echo "== docs: dead-link check (README.md, docs/) =="
 python scripts/check_doc_links.py
 
+echo "== lint: spmdlint SL001-SL005 over src/ (zero findings required) =="
+python -m repro.analysis.lint src/
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== lint: ruff companion pass (pinned ruff.toml) =="
+    ruff check --config ruff.toml src tests scripts benchmarks
+else
+    echo "== lint: ruff not on PATH; skipping companion pass =="
+fi
+
 echo "== fast tier: unit tests (thread backend) =="
 python -m pytest tests -m "not slow" -q
 
@@ -63,6 +80,9 @@ DIBELLA_DOUBLE_BUFFER=0 python -m pytest tests -m "not slow" -q
 
 echo "== fast tier: unit tests (minimizer seed mode, DIBELLA_SEED_MODE=minimizer) =="
 DIBELLA_SEED_MODE=minimizer python -m pytest tests -m "not slow" -q
+
+echo "== fast tier: unit tests (runtime sanitizer armed, DIBELLA_SANITIZE=1) =="
+DIBELLA_SANITIZE=1 python -m pytest tests -m "not slow" -q
 
 echo "== serve smoke: resident index, 2 query batches, zero rebuilds =="
 python scripts/serve_smoke.py

@@ -1,0 +1,19 @@
+#!/usr/bin/env python3
+"""Wrapper for the SPMD lint checker: ``scripts/spmdlint.py [paths...]``.
+
+Equivalent to ``PYTHONPATH=src python -m repro.analysis.lint`` from the repo
+root; defaults to linting ``src/``.  See docs/static-analysis.md for the
+rule catalogue (SL001-SL005) and the suppression syntax.
+"""
+
+import os
+import sys
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+
+from repro.analysis.lint import main  # noqa: E402
+
+if __name__ == "__main__":
+    os.chdir(_REPO_ROOT)
+    sys.exit(main())

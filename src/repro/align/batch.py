@@ -307,7 +307,8 @@ def batched_xdrop_align(
 
     cache = cache if cache is not None else ReadCache()
     if getattr(sequences, "cache", None) is not cache:
-        for rid in {task.rid_a for task in tasks} | {task.rid_b for task in tasks}:
+        for rid in sorted({task.rid_a for task in tasks}
+                          | {task.rid_b for task in tasks}):
             # put() refreshes (and drops stale encodings) if the mapping changed.
             cache.put(rid, sequences[rid])
     # else: *sequences* is this cache's own lazy view — the entries are

@@ -103,9 +103,21 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--backend", choices=["thread", "process"], default=None,
                      help="SPMD runtime backend: threads (default) or one process "
                           "per rank exchanging typed buffers via shared memory")
-    run.add_argument("--exchange-chunk-mb", type=float, default=8.0,
+    run.add_argument("--exchange-chunk-mb", type=float, default=None,
                      help="per-rank wire budget (MiB) of each overlap-exchange "
-                          "superstep; 0 disables chunking (one monolithic Alltoallv)")
+                          "superstep; 0 disables chunking (one monolithic "
+                          "Alltoallv); default honours DIBELLA_EXCHANGE_CHUNK_MB, "
+                          "else 8")
+    run.add_argument("--batch-reads", type=int, default=None,
+                     help="local reads parsed per streaming superstep in the "
+                          "k-mer stages (the memory bound of the streaming "
+                          "pipeline; DIBELLA_BATCH_READS has the same effect, "
+                          "default 2048)")
+    run.add_argument("--sanitize", action="store_true", default=None,
+                     help="arm the runtime sanitizer: cross-rank collective "
+                          "congruence checks, split-phase segment lifecycle "
+                          "guards and a hang watchdog (DIBELLA_SANITIZE=1 has "
+                          "the same effect; output is bit-identical)")
     run.add_argument("--pool", action="store_true", default=None,
                      help="acquire ranks from the persistent rank pool (processes "
                           "parked on a barrier between runs; amortises startup and "
@@ -179,6 +191,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="byte-capacity LRU bound (MiB) of each rank's read "
                             "cache; 0 = unbounded (DIBELLA_READ_CACHE_MB has "
                             "the same effect)")
+    serve.add_argument("--sanitize", action="store_true", default=None,
+                       help="arm the runtime sanitizer for every batch "
+                            "(DIBELLA_SANITIZE=1 has the same effect)")
     serve.add_argument("--pool-stats", action="store_true",
                        help="print per-pool usage statistics after the session")
 
@@ -197,6 +212,9 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--minimizer-window", type=int, default=None,
                        help="minimizer window length w in k-mers (default 11)")
     query.add_argument("--read-cache-mb", type=float, default=None)
+    query.add_argument("--sanitize", action="store_true", default=None,
+                       help="arm the runtime sanitizer for the batch "
+                            "(DIBELLA_SANITIZE=1 has the same effect)")
     query.add_argument("--overlaps-out",
                        help="write the query-vs-index alignments to this TSV file")
 
@@ -255,12 +273,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         spec = factory() if args.preset == "tiny" else factory(scale=args.scale)
         reads = generate_dataset(spec).reads
         source = spec.name
+    overrides = {}
+    if args.exchange_chunk_mb is not None:
+        # 0 disables chunking; negative values fall through to the config's
+        # validation error instead of silently disabling.  Omitting the flag
+        # honours DIBELLA_EXCHANGE_CHUNK_MB (else the 8 MiB default).
+        overrides["exchange_chunk_mb"] = (
+            args.exchange_chunk_mb if args.exchange_chunk_mb != 0 else None)
+    if args.batch_reads is not None:
+        overrides["batch_reads"] = args.batch_reads
+    if args.sanitize is not None:
+        overrides["sanitize"] = args.sanitize
     config = PipelineConfig(
         kmer=KmerSpec(k=args.k),
         seed_strategy=_resolve_strategy(args.seed_strategy, args.k),
-        # 0 disables chunking; negative values fall through to the config's
-        # validation error instead of silently disabling.
-        exchange_chunk_mb=args.exchange_chunk_mb if args.exchange_chunk_mb != 0 else None,
+        **overrides,
     )
     if args.no_double_buffer:
         config = config.with_double_buffer(False)
@@ -317,6 +344,8 @@ def _serve_config(args: argparse.Namespace) -> PipelineConfig:
     if args.seed_mode is not None or args.minimizer_window is not None:
         config = config.with_seed_mode(args.seed_mode or config.seed_mode,
                                        args.minimizer_window)
+    if getattr(args, "sanitize", None):
+        config = config.with_sanitize(True)
     return config
 
 

@@ -52,6 +52,15 @@ def _env_optional_int(name: str) -> int | None:
     return int(raw)
 
 
+def _env_optional_float(name: str, default: float | None) -> float | None:
+    """Parse an optional float knob (unset -> *default*, "0" -> None)."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    value = float(raw)
+    return None if value == 0 else value
+
+
 @dataclass(frozen=True)
 class PipelineConfig:
     """All runtime parameters of a diBELLA run.
@@ -99,6 +108,7 @@ class PipelineConfig:
         Number of local reads parsed per streaming superstep in stages 1-2 —
         the memory-bounding knob of §4.  All ranks execute the same number
         of supersteps (the maximum over ranks), padding with empty exchanges.
+        The default honours ``DIBELLA_BATCH_READS`` (CLI ``--batch-reads``).
     seed_strategy:
         Which shared seeds to align per overlapping pair (§5's one-seed /
         1 kbp separation / k separation settings).
@@ -122,7 +132,9 @@ class PipelineConfig:
         overlap stage's streamed pair exchange; at most two chunks are in
         flight per rank (the double buffer), so this also bounds the pair
         buffers held in memory.  ``None`` disables chunking (one monolithic
-        Alltoallv, the paper's original pattern).
+        Alltoallv, the paper's original pattern).  The default honours
+        ``DIBELLA_EXCHANGE_CHUNK_MB`` (``0`` disables chunking; CLI
+        ``--exchange-chunk-mb``).
     double_buffer:
         Double-buffer every stage's exchange supersteps: each stage's chunk
         ``i+1`` is generated and published while the peers are still reading
@@ -189,6 +201,14 @@ class PipelineConfig:
         every alignment stage (counters ``read_cache_evictions`` /
         ``read_cache_evicted_bytes``).  The default honours
         ``DIBELLA_READ_CACHE_MB``.
+    sanitize:
+        Arm the runtime sanitizer for every SPMD run this pipeline launches:
+        cross-rank collective congruence checks, split-phase segment
+        lifecycle guards, and a hang watchdog (see
+        :mod:`repro.mpisim.sanitize` and ``docs/static-analysis.md``).
+        Observation-only on the happy path — sanitized runs are
+        bit-identical to unsanitized ones.  The default honours
+        ``DIBELLA_SANITIZE`` (CLI ``--sanitize``).
     """
 
     kmer: KmerSpec = field(default_factory=lambda: KmerSpec(k=17))
@@ -204,7 +224,12 @@ class PipelineConfig:
     error_rate_hint: float | None = None
     bloom_fp_rate: float = 0.05
     hll_precision: int = 14
-    batch_reads: int = 2048
+    batch_reads: int = field(
+        default_factory=lambda: int(os.environ.get("DIBELLA_BATCH_READS", "2048"))
+    )
+    # spmdlint: disable=SL005 composite SeedStrategy object; the CLI exposes it
+    # as the named presets of --seed-strategy (the "dk" preset depends on -k),
+    # so a scalar env default cannot express it.
     seed_strategy: SeedStrategy = field(default_factory=SeedStrategy.one_seed)
     kernel: str = "xdrop"
     xdrop: int = 25
@@ -216,7 +241,9 @@ class PipelineConfig:
     backend: str = field(
         default_factory=lambda: os.environ.get("DIBELLA_BACKEND", "thread")
     )
-    exchange_chunk_mb: float | None = 8.0
+    exchange_chunk_mb: float | None = field(
+        default_factory=lambda: _env_optional_float("DIBELLA_EXCHANGE_CHUNK_MB", 8.0)
+    )
     double_buffer: bool = field(
         default_factory=lambda: _env_flag("DIBELLA_DOUBLE_BUFFER", True)
     )
@@ -238,6 +265,9 @@ class PipelineConfig:
     )
     read_cache_mb: float = field(
         default_factory=lambda: float(os.environ.get("DIBELLA_READ_CACHE_MB", "0"))
+    )
+    sanitize: bool = field(
+        default_factory=lambda: _env_flag("DIBELLA_SANITIZE", False)
     )
 
     def __post_init__(self) -> None:
@@ -383,6 +413,10 @@ class PipelineConfig:
     def sketch_window(self) -> int:
         """The effective sketch window: w in minimizer mode, else 1 (keep all)."""
         return self.minimizer_window if self.seed_mode == "minimizer" else 1
+
+    def with_sanitize(self, sanitize: bool) -> "PipelineConfig":
+        """Copy of this config with the runtime sanitizer armed or disarmed."""
+        return replace(self, sanitize=sanitize)
 
     def with_seed_strategy(self, strategy: SeedStrategy) -> "PipelineConfig":
         """Copy of this config with a different seed strategy (bench helper)."""

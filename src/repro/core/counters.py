@@ -1,0 +1,130 @@
+"""Central registry of every pipeline counter name.
+
+Every ``state.counters[...]`` key the stages, the superstep scheduler or the
+pipeline driver may write is declared here, once, with a one-line meaning.
+The registry is the single source of truth for three consumers:
+
+* the **SL004 lint rule** (:mod:`repro.analysis`): a counter key assigned in
+  ``stages.py``/``supersteps.py``/``pipeline.py`` that is not declared here
+  is a lint error — counters can no longer drift into existence unnamed;
+* the **backend-invariance tests** (``tests/test_backends.py``,
+  ``tests/test_supersteps.py``): parity assertions iterate
+  :data:`SCHEDULE_FLAG_COUNTERS` from here instead of hand-kept copies;
+* **humans**: the meaning of a counter is looked up here, not reverse
+  engineered from the assignment site.
+
+Counters fall into two classes.  *Science counters* describe the computed
+result (k-mers retained, overlaps found, alignments accepted) and must be
+bit-identical across every runtime backend, schedule and encoding knob —
+the parity matrices pin exactly that.  *Schedule flags*
+(:data:`SCHEDULE_FLAG_COUNTERS`) describe which schedule produced the
+result (double-buffered?, how many steps overlapped?) and legitimately
+differ between schedules, so cross-schedule comparisons exclude them.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PIPELINE_COUNTERS",
+    "REGISTERED_COUNTERS",
+    "SCHEDULE_FLAG_COUNTERS",
+    "is_registered",
+]
+
+#: name -> one-line meaning.  Grouped by the stage that writes them.
+PIPELINE_COUNTERS: dict[str, str] = {
+    # -- pipeline driver ----------------------------------------------------
+    "input_kmers": "total k-mer positions in the input reads (length sum - (k-1) per read)",
+    "high_freq_threshold": "occurrence cutoff above which a k-mer is considered repetitive",
+    "sketch_density_ppm": "retained k-mers per million input k-mer positions (minimizer ablation metric)",
+    "query_reads": "reads submitted in the serve-phase query batch",
+    # -- stage 1: bloom-filter cardinality pass -----------------------------
+    "kmers_extracted_total": "canonical k-mers extracted before any sketching",
+    "kmers_after_sketch": "k-mers surviving the seed-mode sketch (equals extracted for seed_mode=reliable)",
+    "kmers_parsed": "k-mers parsed out of the streamed read batches",
+    "kmers_received_bloom": "k-mers received by their owner rank in the bloom exchange",
+    "bloom_payload_bytes": "bytes of k-mer codes moved by the bloom exchange",
+    "distinct_keys": "distinct k-mer codes seen by the bloom pass",
+    "bloom_nbytes": "bytes allocated to each rank's bloom filter",
+    "bloom_stash_total_bytes": "bytes of repeated-k-mer stash accumulated across supersteps",
+    "bloom_stash_peak_bytes": "peak bytes of the repeated-k-mer stash on any superstep",
+    "hll_distinct_estimate": "HyperLogLog estimate of distinct k-mers (recorded once, on rank 0)",
+    # -- stage 2: hash-table construction -----------------------------------
+    "kmers_received_hashtable": "k-mer occurrences received by their owner in the hash-table exchange",
+    "occurrences_stored": "k-mer occurrences inserted into the distributed hash table",
+    "hashtable_payload_bytes": "bytes of (code, rid, pos) tuples moved by the hash-table exchange",
+    "retained_kmers": "distinct reliable k-mers retained after frequency filtering",
+    "retained_occurrences": "read occurrences retained under the reliable k-mers",
+    "hash_table_shards": "code-range shards the retained table was built in (the memory bound)",
+    "retained_table_peak_bytes": "peak bytes of any single retained-table shard",
+    # -- stage 3: overlap detection -----------------------------------------
+    "pairs_generated": "candidate read pairs generated from shared reliable k-mers",
+    "overlap_pairs": "consolidated overlapping read pairs after dedup/seed selection",
+    "alignment_tasks": "alignment tasks (pair + seed) handed to stage 4",
+    "overlap_exchange_chunks": "supersteps the chunked overlap exchange was split into",
+    "overlap_payload_bytes": "bytes of candidate-pair rows moved by the overlap exchange",
+    # -- stage 4: alignment -------------------------------------------------
+    "alignments": "pairwise alignments computed",
+    "accepted_alignments": "alignments passing the score acceptance threshold",
+    "dp_cells": "dynamic-programming cells evaluated across all alignments",
+    "remote_reads_fetched": "read sequences fetched from remote owner ranks",
+    "read_payload_raw_bytes": "ASCII-equivalent bytes of the served read payloads",
+    "read_payload_wire_bytes": "bytes of read payloads that actually crossed the exchange",
+    "alignment_wire_packing": "1 if read payloads shipped 2-bit packed, 0 for ASCII",
+    "alignment_fetch_rounds": "fetch supersteps the alignment stage used",
+    # -- per-rank read cache (ReadCache.counters) ---------------------------
+    "read_cache_hits": "alignment read-cache hits (sequence already resident)",
+    "read_cache_misses": "alignment read-cache misses (sequence fetched or faulted)",
+    "read_cache_fetch_hits": "misses satisfied by the batched remote fetch",
+    "read_cache_evictions": "LRU evictions under the read_cache_mb byte bound",
+    "read_cache_evicted_bytes": "bytes evicted from the read cache under the byte bound",
+    # -- serve phase: resident index build + query batches ------------------
+    "index_build_runs": "index-build passes executed (0 when a resident index was reused)",
+    "index_retained_kmers": "reliable k-mers in the built index",
+    "index_retained_occurrences": "read occurrences in the built index",
+    "index_occurrences": "occurrences scanned while building the index",
+    "index_nbytes": "bytes of the resident index structures",
+    "index_digest": "content digest of the resident index (staleness detection)",
+    "index_reuse_hits": "query batches served from a resident index without rebuilding",
+    "query_kmers_parsed": "k-mers parsed from the query-batch reads",
+    "query_kmers_routed": "query k-mers routed to their index-owner ranks",
+    "query_route_payload_bytes": "bytes moved by the query-routing exchange",
+    "query_pairs_generated": "candidate query-target pairs generated from index hits",
+    "query_cross_pairs": "query-target pairs crossing rank boundaries",
+    # -- schedule flags (see SCHEDULE_FLAG_COUNTERS) ------------------------
+    "bloom_exchange_double_buffered": "1 if the bloom exchange ran split-phase double-buffered",
+    "bloom_steps_overlapped": "bloom supersteps whose compute overlapped a peer's exchange",
+    "hashtable_exchange_double_buffered": "1 if the hash-table exchange ran split-phase double-buffered",
+    "hashtable_steps_overlapped": "hash-table supersteps whose compute overlapped a peer's exchange",
+    "overlap_exchange_double_buffered": "1 if the overlap exchange ran split-phase double-buffered",
+    "overlap_chunks_overlapped": "overlap chunks whose compute overlapped a peer's exchange",
+    "alignment_exchange_double_buffered": "1 if the alignment fetch ran split-phase double-buffered",
+    "alignment_steps_overlapped": "alignment fetch rounds whose compute overlapped a peer's exchange",
+    "query_route_double_buffered": "1 if the query-routing exchange ran split-phase double-buffered",
+    "query_route_steps_overlapped": "query-routing supersteps whose compute overlapped a peer's exchange",
+}
+
+#: Every declared counter name (what the SL004 lint rule checks against).
+REGISTERED_COUNTERS: frozenset[str] = frozenset(PIPELINE_COUNTERS)
+
+#: Counters that describe the *schedule* rather than the science: they
+#: legitimately differ between double-buffered and bulk-synchronous runs of
+#: the same input, so cross-schedule parity comparisons exclude exactly this
+#: set (and nothing else).
+SCHEDULE_FLAG_COUNTERS: frozenset[str] = frozenset({
+    "bloom_exchange_double_buffered",
+    "bloom_steps_overlapped",
+    "hashtable_exchange_double_buffered",
+    "hashtable_steps_overlapped",
+    "overlap_exchange_double_buffered",
+    "overlap_chunks_overlapped",
+    "alignment_exchange_double_buffered",
+    "alignment_steps_overlapped",
+    "query_route_double_buffered",
+    "query_route_steps_overlapped",
+})
+
+
+def is_registered(name: str) -> bool:
+    """Whether *name* is a declared pipeline counter."""
+    return name in REGISTERED_COUNTERS

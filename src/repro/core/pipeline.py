@@ -111,6 +111,7 @@ class DibellaPipeline:
             trace=trace,
             backend=config.backend,
             pool=config.pool,
+            sanitize=config.sanitize,
             cache_tag=cache_tag,
         )
         wall_seconds = time.perf_counter() - start
@@ -187,6 +188,7 @@ class DibellaPipeline:
             trace=trace,
             backend=config.backend,
             pool=config.pool,
+            sanitize=config.sanitize,
             cache_tag=self._pool_cache_tag(index_tag),
         )
         wall_seconds = time.perf_counter() - start
@@ -272,6 +274,7 @@ class DibellaPipeline:
             trace=trace,
             backend=config.backend,
             pool=config.pool,
+            sanitize=config.sanitize,
             # Query runs share the *index* generation's read caches: index
             # reads stay warm across batches, and each batch's query RIDs
             # are evicted on entry (RIDs >= n_index_reads are reused).
@@ -335,6 +338,8 @@ class DibellaPipeline:
         counters: dict[str, int] = {}
         for report in reports:
             for key, value in report.counters.items():
+                # spmdlint: disable=SL004 cross-rank sum of already-written
+                # counters; keys are checked at their write sites.
                 counters[key] = counters.get(key, 0) + int(value)
         return counters
 

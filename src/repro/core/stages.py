@@ -906,6 +906,8 @@ def alignment_stage(comm: SimCommunicator, state: _RankState) -> BatchAligner:
     state.counters["alignment_fetch_rounds"] = outcome.n_supersteps
     state.counters["alignment_exchange_double_buffered"] = int(outcome.double_buffered)
     state.counters["alignment_steps_overlapped"] = outcome.steps_overlapped
+    # spmdlint: disable=SL004 keys come from ReadCache.counters(), all five
+    # declared as the read_cache_* group in repro.core.counters.
     state.counters.update({
         name: value - cache_counter_base.get(name, 0)
         for name, value in cache.counters().items()

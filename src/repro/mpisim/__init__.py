@@ -43,7 +43,19 @@ from repro.mpisim.backend import (
     shutdown_rank_pools,
 )
 from repro.mpisim.runtime import spmd_run, SPMDError
-from repro.mpisim.collectives import payload_nbytes, bucket_by_destination
+from repro.mpisim.errors import (
+    CollectiveMismatchError,
+    CollectiveTimeoutError,
+    RankFailedError,
+    SanitizerError,
+    SegmentStateError,
+)
+from repro.mpisim.collectives import (
+    bucket_by_destination,
+    payload_nbytes,
+    payload_signature,
+)
+from repro.mpisim.sanitize import sanitize_default, watchdog_timeout
 from repro.mpisim.serialization import decode_payload, encode_payload
 
 __all__ = [
@@ -61,8 +73,16 @@ __all__ = [
     "BACKEND_NAMES",
     "spmd_run",
     "SPMDError",
+    "CollectiveMismatchError",
+    "CollectiveTimeoutError",
+    "RankFailedError",
+    "SanitizerError",
+    "SegmentStateError",
     "payload_nbytes",
+    "payload_signature",
     "bucket_by_destination",
+    "sanitize_default",
+    "watchdog_timeout",
     "encode_payload",
     "decode_payload",
 ]

@@ -44,7 +44,12 @@ from repro.mpisim.communicator import (
     SimCommunicator,
     _CollectiveState,
 )
-from repro.mpisim.errors import CollectiveMismatchError, RankFailedError
+from repro.mpisim.errors import (
+    CollectiveMismatchError,
+    RankFailedError,
+    SegmentStateError,
+)
+from repro.mpisim.sanitize import watchdog_timeout
 from repro.mpisim.serialization import decode_payload, encode_payload
 from repro.mpisim.topology import Topology
 from repro.mpisim.tracing import CommTrace
@@ -89,9 +94,14 @@ class RuntimeBackend(ABC):
         kwargs: dict[str, Any],
         topology: Topology | None,
         trace: CommTrace | None,
+        sanitize: bool = False,
     ) -> list[Any]:
         """Execute ``fn(comm, *args, **kwargs)`` on every rank, return results
-        in rank order; raise :class:`RankFailedError` if any rank failed."""
+        in rank order; raise :class:`RankFailedError` if any rank failed.
+
+        ``sanitize`` arms the runtime sanitizer on this run's collective
+        engine (congruence checks, split-phase segment guards, hang
+        watchdog — see :mod:`repro.mpisim.sanitize`)."""
 
 
 def resolve_backend(backend: str | RuntimeBackend | None,
@@ -126,8 +136,8 @@ class ThreadBackend(RuntimeBackend):
 
     name = "thread"
 
-    def run(self, n_ranks, fn, args, kwargs, topology, trace):
-        state = _CollectiveState(n_ranks)
+    def run(self, n_ranks, fn, args, kwargs, topology, trace, sanitize=False):
+        state = _CollectiveState(n_ranks, sanitize=sanitize)
         results: list[Any] = [None] * n_ranks
         failures: list[tuple[int, BaseException]] = []
         failures_lock = threading.Lock()
@@ -211,8 +221,13 @@ class _ProcessCollectiveEngine:
       No coordinator touches the bulk data.
     """
 
-    def __init__(self, ctx, n_ranks: int):
+    def __init__(self, ctx, n_ranks: int, sanitize: bool = False):
         self.n_ranks = n_ranks
+        # The sanitizer flag lives in shared memory because the pooled
+        # engine outlives any single run: the parent flips it between runs
+        # (while every worker is parked) and the long-forked workers read
+        # the current value.
+        self._sanitize = ctx.Value("b", int(sanitize), lock=False)
         self.barrier = ctx.Barrier(n_ranks)
         self._op_names = ctx.Array("c", n_ranks * _OP_LEN, lock=False)
         self._contrib_names = ctx.Array("c", n_ranks * _NAME_LEN, lock=False)
@@ -262,6 +277,26 @@ class _ProcessCollectiveEngine:
         raw = bytes(array[index * width : (index + 1) * width])
         return raw.rstrip(b"\0").decode("ascii")
 
+    @property
+    def sanitize(self) -> bool:
+        """Whether the runtime sanitizer is armed for the current run."""
+        return bool(self._sanitize.value)
+
+    def set_sanitize(self, flag: bool) -> None:
+        """Flip the sanitizer for the next run (pooled engines, parent only,
+        while every worker is parked)."""
+        self._sanitize.value = int(flag)
+
+    @property
+    def aborted_by_peer(self) -> bool:
+        """Whether :meth:`abort` was called (vs a wait timing out on its own);
+        see the thread engine's property of the same name."""
+        return bool(self._x_abort.value)
+
+    def _wait_timeout(self) -> float:
+        """Collective wait bound: the sanitizer's watchdog tightens it."""
+        return watchdog_timeout() if self.sanitize else _BARRIER_TIMEOUT
+
     def abort(self) -> None:
         """Break the barrier (and the split-phase handshake) so ranks blocked
         in a collective terminate."""
@@ -278,7 +313,7 @@ class _ProcessCollectiveEngine:
         The wait is chunked (1 s slices) so a notify lost to process
         scheduling can only delay, never wedge, the handshake.
         """
-        deadline = time.monotonic() + _BARRIER_TIMEOUT
+        deadline = time.monotonic() + self._wait_timeout()
         with self._x_cond:
             while True:
                 if self._x_abort.value:
@@ -326,10 +361,38 @@ class _ProcessCollectiveEngine:
         """Collect superstep *token*'s payloads once every rank has published."""
         seq, own_blob = token
         slot = seq % EXCHANGE_SLOTS
+        if self.sanitize:
+            # Same lifecycle guards as the thread engine: fail fast instead
+            # of waiting out a publish that never happened, or re-reading a
+            # slot this rank already consumed.  (Poisoning is structural
+            # here: consumed segments are unlinked, so a stale attach raises
+            # FileNotFoundError — these checks turn that into a description.)
+            if self._x_published[slot][rank] < seq:
+                raise SegmentStateError(
+                    f"sanitizer: rank {rank} finishing split-phase superstep "
+                    f"{seq} it never started (read-before-publish; slot "
+                    f"{slot} last published seq {self._x_published[slot][rank]})"
+                )
+            if self._x_consumed[slot][rank] >= seq:
+                raise SegmentStateError(
+                    f"sanitizer: rank {rank} finishing split-phase superstep "
+                    f"{seq} twice (slot {slot} already consumed through seq "
+                    f"{self._x_consumed[slot][rank]})"
+                )
         self._x_wait(
             lambda: all(self._x_published[slot][q] >= seq
                         for q in range(self.n_ranks))
         )
+        if self.sanitize:
+            stale = [q for q in range(self.n_ranks)
+                     if self._x_published[slot][q] != seq]
+            if stale:
+                raise SegmentStateError(
+                    f"sanitizer: rank {rank} reading split-phase superstep "
+                    f"{seq} after ranks {stale} rewrote slot {slot} "
+                    f"(use-after-release; their published seqs are "
+                    f"{[int(self._x_published[slot][q]) for q in stale]})"
+                )
         names = {self._get_str(self._x_ops[slot], q, _OP_LEN)
                  for q in range(self.n_ranks)}
         if len(names) != 1:
@@ -379,7 +442,8 @@ class _ProcessCollectiveEngine:
     def _execute_synchronised(self, rank: int, is_exchange: bool,
                               shm: SharedMemory, blobs: list[bytes] | None,
                               combine: CombineFn) -> Any:
-        elected = self.barrier.wait(timeout=_BARRIER_TIMEOUT) == 0
+        timeout = self._wait_timeout()
+        elected = self.barrier.wait(timeout=timeout) == 0
         if elected:
             self._error_size.value = 0
             try:
@@ -389,11 +453,11 @@ class _ProcessCollectiveEngine:
             except BaseException as exc:  # propagated to every rank below
                 self._publish_error(exc)
 
-        self.barrier.wait(timeout=_BARRIER_TIMEOUT)
+        self.barrier.wait(timeout=timeout)
         error = self._read_error()
         if error is not None:
             # Synchronise before reclaiming so every rank has read the error.
-            self.barrier.wait(timeout=_BARRIER_TIMEOUT)
+            self.barrier.wait(timeout=timeout)
             self._destroy(shm)
             if elected:
                 self._release_owned()
@@ -401,13 +465,13 @@ class _ProcessCollectiveEngine:
 
         if is_exchange:
             received = self._read_exchange(rank, blobs)
-            self.barrier.wait(timeout=_BARRIER_TIMEOUT)  # all peers done reading
+            self.barrier.wait(timeout=timeout)  # all peers done reading
             self._destroy(shm)
             return received
 
         result = self._read_result(rank)
         self._destroy(shm)  # elected consumed every contribution before barrier 2
-        self.barrier.wait(timeout=_BARRIER_TIMEOUT)  # all results consumed
+        self.barrier.wait(timeout=timeout)  # all results consumed
         if elected:
             self._release_owned()
         return result
@@ -839,7 +903,7 @@ class _RankPool:
         for proc in self.workers:
             proc.start()
 
-    def run(self, fn, args, kwargs, topology, trace) -> list[Any]:
+    def run(self, fn, args, kwargs, topology, trace, sanitize=False) -> list[Any]:
         if self.broken:
             raise RuntimeError("rank pool is broken; it should have been evicted")
         # Pickle the job HERE, once: Queue.put pickles in a background feeder
@@ -862,6 +926,9 @@ class _RankPool:
         dead = [rank for rank, proc in enumerate(self.workers)
                 if proc.exitcode is not None]
         if not dead:
+            # Safe for the same reason reset_between_runs is: every worker
+            # is parked, so nothing races the sanitizer flip.
+            self.engine.set_sanitize(sanitize)
             self.engine.reset_between_runs()
             for job_queue in self.job_queues:
                 job_queue.put(job)
@@ -1024,13 +1091,13 @@ class ProcessBackend(RuntimeBackend):
         self.start_method = start_method
         self.use_pool = pool
 
-    def run(self, n_ranks, fn, args, kwargs, topology, trace):
+    def run(self, n_ranks, fn, args, kwargs, topology, trace, sanitize=False):
         if self.use_pool:
             rank_pool = _acquire_pool(self._ctx, self.start_method, n_ranks)
-            return rank_pool.run(fn, args, kwargs, topology, trace)
+            return rank_pool.run(fn, args, kwargs, topology, trace, sanitize)
 
         _ensure_resource_tracker()
-        engine = _ProcessCollectiveEngine(self._ctx, n_ranks)
+        engine = _ProcessCollectiveEngine(self._ctx, n_ranks, sanitize=sanitize)
         results_queue = self._ctx.Queue()
         workers = [
             self._ctx.Process(

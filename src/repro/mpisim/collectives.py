@@ -56,6 +56,56 @@ def payload_nbytes(payload: Any) -> int:
     return _OBJECT_OVERHEAD
 
 
+#: Recursion bound for :func:`payload_signature` — deep enough for every
+#: payload the pipeline exchanges (lists of arrays, tuples of blocks), small
+#: enough that a pathological nesting cannot make the digest expensive.
+_SIGNATURE_DEPTH = 4
+
+
+def payload_signature(payload: Any, _depth: int = 0) -> str:
+    """Type/dtype/shape-rank digest of a collective payload.
+
+    The runtime sanitizer compares this digest across ranks before each
+    congruence-checked collective: two ranks contributing payloads of
+    different dtype or array rank to the same op get a descriptive mismatch
+    error instead of silently mixed (or mis-decoded) science data.
+
+    The digest deliberately ignores payload *sizes* — per-destination counts
+    legitimately differ between ranks — and collapses containers to the
+    sorted set of their element digests, so a rank whose send list holds
+    empty arrays still matches its peers as long as the dtypes agree (the
+    stages construct typed empties for exactly this reason).
+    """
+    if payload is None:
+        return "none"
+    if isinstance(payload, np.ndarray):
+        return f"ndarray[{payload.dtype.str},r{payload.ndim}]"
+    if isinstance(payload, (bool, np.bool_)):
+        return "bool"
+    if isinstance(payload, (int, np.integer)):
+        return "int"
+    if isinstance(payload, (float, np.floating)):
+        return "float"
+    if isinstance(payload, str):
+        return "str"
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return "bytes"
+    if isinstance(payload, PackedReadBlock):
+        return "PackedReadBlock"
+    if isinstance(payload, (list, tuple)):
+        kind = "list" if isinstance(payload, list) else "tuple"
+        if _depth >= _SIGNATURE_DEPTH:
+            return f"{kind}[...]"
+        inner = sorted({payload_signature(item, _depth + 1) for item in payload})
+        return f"{kind}[{','.join(inner)}]"
+    if isinstance(payload, dict):
+        if _depth >= _SIGNATURE_DEPTH:
+            return "dict[...]"
+        inner = sorted({payload_signature(v, _depth + 1) for v in payload.values()})
+        return f"dict[{','.join(inner)}]"
+    return type(payload).__name__
+
+
 def bucket_by_destination(
     values: np.ndarray, destinations: np.ndarray, n_ranks: int
 ) -> list[np.ndarray]:

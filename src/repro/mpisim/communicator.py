@@ -34,10 +34,15 @@ from typing import Any, Callable, Protocol, Sequence
 
 import numpy as np
 
-from repro.mpisim.collectives import payload_nbytes
-from repro.mpisim.errors import CollectiveMismatchError
+from repro.mpisim.collectives import payload_nbytes, payload_signature
+from repro.mpisim.errors import (
+    CollectiveMismatchError,
+    CollectiveTimeoutError,
+    SegmentStateError,
+)
+from repro.mpisim.sanitize import TRACE_DEPTH, watchdog_timeout
 from repro.mpisim.topology import Topology
-from repro.mpisim.tracing import CommTrace
+from repro.mpisim.tracing import CollectiveLog, CommTrace
 
 #: Combine function signature: per-rank contributions -> per-rank results.
 CombineFn = Callable[[list[Any]], list[Any]]
@@ -55,6 +60,17 @@ _EXCHANGE_TIMEOUT = float(os.environ.get("DIBELLA_BARRIER_TIMEOUT", "600"))
 #: response and one request outstanding); the engines are written against
 #: this constant, so deeper pipelines only need a bigger value here.
 EXCHANGE_SLOTS = 2
+
+#: Engine op name of the sanitizer's congruence pre-check collective.  It is
+#: deliberately constant — every rank enters the *same* engine op even when
+#: their real collectives diverge, so the check itself always completes and
+#: the combine can report exactly which ranks called what.
+SANITIZE_OP = "__sanitize__"
+
+#: Sentinel written into a thread-engine exchange slot once every rank has
+#: consumed it (sanitizer only).  A stale reader that slips past the
+#: sequence guards trips on this instead of on reused payloads.
+_POISONED = object()
 
 
 def exchange_op_name(base: str, label: str | None) -> str:
@@ -106,13 +122,15 @@ class ExchangeHandle:
     synchronous fallback path (engines without split-phase support), in which
     case ``alltoallv_finish`` simply hands it back.  ``label`` is the phase
     label the exchange was started under (diagnostics; the engines validate
-    it as part of the op name).
+    it as part of the op name).  ``consumed`` is set by ``alltoallv_finish``
+    so the sanitizer can flag a handle finished twice.
     """
 
     op_name: str
     token: Any = None
     result: list[Any] | None = None
     label: str | None = None
+    consumed: bool = False
 
 
 class _CollectiveState:
@@ -123,8 +141,11 @@ class _CollectiveState:
     (barrier index 0) runs the combine while the others wait.
     """
 
-    def __init__(self, n_ranks: int):
+    def __init__(self, n_ranks: int, sanitize: bool = False):
         self.n_ranks = n_ranks
+        #: Runtime-sanitizer flag; communicators read it via the engine so
+        #: the whole run (and every pooled worker) agrees on the mode.
+        self.sanitize = sanitize
         self.barrier = threading.Barrier(n_ranks)
         self.op_names: list[str | None] = [None] * n_ranks
         self.contributions: list[Any] = [None] * n_ranks
@@ -150,13 +171,25 @@ class _CollectiveState:
             self._x_aborted = True
             self._x_cond.notify_all()
 
+    @property
+    def aborted_by_peer(self) -> bool:
+        """Whether :meth:`abort` was called (vs a wait timing out on its own).
+
+        The sanitizer's watchdog uses this to tell a genuine hang (raise
+        :class:`CollectiveTimeoutError` with the collective trace) from the
+        expected wake-up after a peer's failure (stay quiet, the peer
+        reports the real error).
+        """
+        return self._x_aborted
+
     # -- split-phase exchange (see CollectiveEngine) --------------------------
 
     def _x_wait(self, predicate: Callable[[], bool]) -> None:
         """Wait under the exchange condition; abort/timeout -> BrokenBarrierError."""
+        timeout = watchdog_timeout() if self.sanitize else _EXCHANGE_TIMEOUT
         with self._x_cond:
             ok = self._x_cond.wait_for(
-                lambda: self._x_aborted or predicate(), timeout=_EXCHANGE_TIMEOUT
+                lambda: self._x_aborted or predicate(), timeout=timeout
             )
             if self._x_aborted or not ok:
                 raise threading.BrokenBarrierError
@@ -184,16 +217,52 @@ class _CollectiveState:
         """Collect superstep *token*'s payloads once every rank has published."""
         seq = token
         slot = seq % EXCHANGE_SLOTS
+        if self.sanitize:
+            # Fail fast on lifecycle bugs that would otherwise hang (waiting
+            # for a publish that never happened) or silently read reused data.
+            if self._x_published[slot][rank] < seq:
+                raise SegmentStateError(
+                    f"sanitizer: rank {rank} finishing split-phase superstep "
+                    f"{seq} it never started (read-before-publish; slot "
+                    f"{slot} last published seq {self._x_published[slot][rank]})"
+                )
+            if self._x_consumed[slot][rank] >= seq:
+                raise SegmentStateError(
+                    f"sanitizer: rank {rank} finishing split-phase superstep "
+                    f"{seq} twice (slot {slot} already consumed through seq "
+                    f"{self._x_consumed[slot][rank]})"
+                )
         self._x_wait(lambda: all(p >= seq for p in self._x_published[slot]))
+        if self.sanitize:
+            stale = [q for q in range(self.n_ranks)
+                     if self._x_published[slot][q] != seq]
+            if stale:
+                raise SegmentStateError(
+                    f"sanitizer: rank {rank} reading split-phase superstep "
+                    f"{seq} after ranks {stale} rewrote slot {slot} "
+                    f"(use-after-release; their published seqs are "
+                    f"{[self._x_published[slot][q] for q in stale]})"
+                )
         names = {self._x_ops[slot][q] for q in range(self.n_ranks)}
         if len(names) != 1:
             raise CollectiveMismatchError(
                 f"ranks disagree on split-phase collective: "
                 f"{sorted(str(n) for n in names)}"
             )
-        received = [self._x_contribs[slot][src][rank] for src in range(self.n_ranks)]
+        contribs = [self._x_contribs[slot][src] for src in range(self.n_ranks)]
+        if self.sanitize and any(c is _POISONED for c in contribs):
+            raise SegmentStateError(
+                f"sanitizer: rank {rank} read a poisoned split-phase segment "
+                f"in slot {slot} (superstep {seq} was already consumed by "
+                "every rank)"
+            )
+        received = [contribs[src][rank] for src in range(self.n_ranks)]
         with self._x_cond:
             self._x_consumed[slot][rank] = seq
+            if self.sanitize and all(c >= seq for c in self._x_consumed[slot]):
+                # Last consumer: poison the slot so any reader that slips
+                # past the sequence guards trips on the sentinel.
+                self._x_contribs[slot] = [_POISONED] * self.n_ranks
             self._x_cond.notify_all()
         return received
 
@@ -203,7 +272,13 @@ class _CollectiveState:
         self.op_names[rank] = op_name
         self.contributions[rank] = contribution
 
-        index = self.barrier.wait()
+        # Under the sanitizer the barrier waits are bounded (the hang
+        # watchdog); a timeout breaks the barrier for every rank, exactly
+        # like an abort, and the communicator converts it into a
+        # CollectiveTimeoutError with the rank's recent collective trace.
+        timeout = watchdog_timeout() if self.sanitize else None
+
+        index = self.barrier.wait(timeout)
         if index == 0:
             try:
                 names = set(self.op_names)
@@ -217,13 +292,13 @@ class _CollectiveState:
                 self.error = exc
                 self.results = [None] * self.n_ranks
 
-        self.barrier.wait()
+        self.barrier.wait(timeout)
         error = self.error
         result = self.results[rank]
 
         # Final synchronisation so no rank starts the next collective while
         # laggards are still reading results from this one.
-        self.barrier.wait()
+        self.barrier.wait(timeout)
         if error is not None:
             raise error
         return result
@@ -268,6 +343,12 @@ class SimCommunicator:
         # across the ranks of a run, so it doubles as the engine's
         # double-buffer slot selector.
         self._xchg_seq = 0
+        # Runtime sanitizer: the mode is a property of the *engine* (set by
+        # the backend from spmd_run's resolved flag) so every rank of a run
+        # — including pooled process workers forked long ago — agrees on it.
+        # Engines without the attribute (custom test engines) run unchecked.
+        self._sanitize = bool(getattr(engine, "sanitize", False))
+        self._collective_log = CollectiveLog(TRACE_DEPTH) if self._sanitize else None
 
     # -- phase labelling -------------------------------------------------------
 
@@ -278,9 +359,81 @@ class SimCommunicator:
 
     # -- core synchronisation protocol ------------------------------------------
 
-    def _collective(self, op_name: str, contribution: Any, combine: CombineFn) -> Any:
-        """Run one collective through the engine."""
-        return self._engine.execute(self.rank, op_name, contribution, combine)
+    def _collective(self, op_name: str, contribution: Any, combine: CombineFn,
+                    signature: str = "") -> Any:
+        """Run one collective through the engine.
+
+        Under the sanitizer this is preceded by the congruence pre-check
+        (see :meth:`_sanitize_congruence`): *signature* is the payload digest
+        that must agree across ranks for this op ("" for ops whose payloads
+        are legitimately rank-asymmetric, e.g. ``bcast``).
+        """
+        if self._sanitize:
+            self._sanitize_congruence(op_name, "sync", signature)
+        return self._engine_call(
+            self._engine.execute, self.rank, op_name, contribution, combine
+        )
+
+    def _engine_call(self, fn: Callable[..., Any], *args: Any) -> Any:
+        """Invoke an engine entry point, converting watchdog timeouts.
+
+        A ``BrokenBarrierError`` out of the engine means either a peer
+        failed (its abort broke the barrier — stay quiet, the peer reports
+        the real error) or, under the sanitizer's bounded waits, that this
+        rank's own wait timed out: a genuine hang.  The latter becomes a
+        :class:`CollectiveTimeoutError` carrying this rank's last-N
+        collective trace.
+        """
+        try:
+            return fn(*args)
+        except threading.BrokenBarrierError:
+            if self._sanitize and not getattr(self._engine, "aborted_by_peer", True):
+                log = self._collective_log
+                raise CollectiveTimeoutError(
+                    f"sanitizer watchdog: rank {self.rank} timed out after "
+                    f"{watchdog_timeout():.0f}s in a collective "
+                    f"(DIBELLA_SANITIZE_TIMEOUT); last "
+                    f"{len(log)} of {log.total_recorded} collectives on this "
+                    f"rank, oldest first:\n{log.dump()}"
+                ) from None
+            raise
+
+    def _sanitize_congruence(self, op_name: str, mode: str, signature: str) -> None:
+        """Cross-rank congruence check run before a sanitized collective.
+
+        Every rank contributes its (op name, sync/split mode, payload
+        digest) through a constant-named engine collective — constant so the
+        check itself always completes even when the real ops diverge — and
+        the elected rank compares them, raising a
+        :class:`CollectiveMismatchError` naming the diverging ranks.  The
+        check moves a few dozen bytes per rank and bypasses the byte
+        accounting entirely, so sanitized runs trace identically to
+        unsanitized ones.
+        """
+        digest = f"{op_name}|{mode}|{signature}" if signature else f"{op_name}|{mode}"
+        log = self._collective_log
+        if log is not None:
+            log.record(f"#{log.total_recorded} {digest}")
+        size = self.size
+
+        def combine(contribs: list[Any]) -> list[Any]:
+            groups: dict[str, list[int]] = {}
+            for peer, value in enumerate(contribs):
+                groups.setdefault(str(value), []).append(peer)
+            if len(groups) > 1:
+                detail = "; ".join(
+                    f"rank(s) {ranks} called {value}"
+                    for value, ranks in sorted(groups.items())
+                )
+                raise CollectiveMismatchError(
+                    f"sanitizer: collective congruence check failed — ranks "
+                    f"diverge on (op|mode|payload digest): {detail}"
+                )
+            return [None] * size
+
+        self._engine_call(
+            self._engine.execute, self.rank, SANITIZE_OP, digest, combine
+        )
 
     # -- collectives -------------------------------------------------------------
 
@@ -334,7 +487,8 @@ class SimCommunicator:
             return [acc] * self.size
 
         self._record_broadcast(payload_nbytes(value))
-        return self._collective(f"allreduce:{op}", value, combine)
+        return self._collective(f"allreduce:{op}", value, combine,
+                                signature=payload_signature(value))
 
     def reduce(self, value: Any, op: Callable[[Any, Any], Any] | str = "sum",
                root: int = 0) -> Any:
@@ -349,7 +503,8 @@ class SimCommunicator:
             return [acc if r == root else None for r in range(self.size)]
 
         self._record_pointwise(root, payload_nbytes(value), from_root=False)
-        return self._collective(f"reduce:{op}", value, combine)
+        return self._collective(f"reduce:{op}", value, combine,
+                                signature=payload_signature(value))
 
     def alltoall(self, send: Sequence[Any]) -> list[Any]:
         """Personalised exchange of exactly one item per destination rank."""
@@ -402,18 +557,35 @@ class SimCommunicator:
         if start is None:
             # Engine without split-phase support: degrade to the synchronous
             # collective and hand the result through the handle.
-            result = self._collective(op_name, send, self._transpose_combine())
+            result = self._collective(op_name, send, self._transpose_combine(),
+                                      signature=payload_signature(send))
             return ExchangeHandle(op_name=op_name, result=result, label=label)
+        if self._sanitize:
+            # "split" in the digest: a rank taking the synchronous alltoallv
+            # path while a peer split-phases the same label is a schedule
+            # divergence this check names explicitly.
+            self._sanitize_congruence(op_name, "split", payload_signature(send))
         seq = self._xchg_seq
         self._xchg_seq += 1
-        token = start(self.rank, op_name, send, seq)
+        token = self._engine_call(start, self.rank, op_name, send, seq)
         return ExchangeHandle(op_name=op_name, token=token, label=label)
 
     def alltoallv_finish(self, handle: ExchangeHandle) -> list[Any]:
         """Complete a split-phase exchange; returns payloads in source-rank order."""
+        if self._sanitize and handle.consumed:
+            raise SegmentStateError(
+                f"sanitizer: rank {self.rank} called alltoallv_finish twice "
+                f"on the same handle ({handle.op_name}); the segment was "
+                "released at the first finish"
+            )
         if handle.result is not None:
+            handle.consumed = True
             return handle.result
-        return self._engine.exchange_finish(self.rank, handle.token)
+        received = self._engine_call(
+            self._engine.exchange_finish, self.rank, handle.token
+        )
+        handle.consumed = True
+        return received
 
     # -- helpers ------------------------------------------------------------------
 
@@ -440,7 +612,8 @@ class SimCommunicator:
 
     def _exchange(self, op_name: str, send: list[Any]) -> list[Any]:
         self._record_exchange(send)
-        return self._collective(op_name, send, self._transpose_combine())
+        return self._collective(op_name, send, self._transpose_combine(),
+                                signature=payload_signature(send))
 
     def _check_root(self, root: int) -> None:
         if not (0 <= root < self.size):

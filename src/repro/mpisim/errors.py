@@ -21,3 +21,34 @@ class RankFailedError(SPMDError):
     The original exception (from the first failing rank) is attached as
     ``__cause__`` by the runtime so test failures point at the real bug.
     """
+
+
+class SanitizerError(SPMDError):
+    """Base class for errors raised only under ``DIBELLA_SANITIZE``.
+
+    The sanitizer turns hazards that would otherwise be silent hangs or
+    bit-corrupt science (divergent collectives, reused exchange segments,
+    wedged handshakes) into immediate, descriptive failures.  None of these
+    checks run when the sanitizer is off.
+    """
+
+
+class CollectiveTimeoutError(SanitizerError):
+    """Raised by the sanitizer's hang watchdog when a collective waits too long.
+
+    Without the sanitizer a wedged collective only surfaces after the
+    generous ``DIBELLA_BARRIER_TIMEOUT`` as an anonymous broken barrier; the
+    watchdog fails faster (``DIBELLA_SANITIZE_TIMEOUT``) and attaches the
+    failing rank's last-N collective trace so the divergence point is
+    readable from the error alone.
+    """
+
+
+class SegmentStateError(SanitizerError):
+    """Raised by the sanitizer's split-phase segment guards.
+
+    Covers the double-buffer lifecycle hazards: finishing an exchange that
+    was never started on this rank (read-before-publish), finishing the same
+    handle twice, and reading a slot whose segment was already rewritten or
+    poisoned (use-after-release).
+    """

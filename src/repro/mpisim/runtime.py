@@ -25,6 +25,7 @@ from typing import Any, Callable
 
 from repro.mpisim.backend import RuntimeBackend, resolve_backend
 from repro.mpisim.errors import RankFailedError, SPMDError
+from repro.mpisim.sanitize import sanitize_default
 from repro.mpisim.topology import Topology
 from repro.mpisim.tracing import CommTrace
 
@@ -39,6 +40,7 @@ def spmd_run(
     trace: CommTrace | None = None,
     backend: str | RuntimeBackend | None = None,
     pool: bool = False,
+    sanitize: bool | None = None,
     **kwargs: Any,
 ) -> list[Any]:
     """Run *fn* as an SPMD program over *n_ranks* simulated ranks.
@@ -69,6 +71,14 @@ def spmd_run(
         runs.  Pooled jobs cross a queue, so ``fn`` and its arguments must
         be picklable.  Ignored by the thread backend and by ready-made
         backend instances (their own pooling setting wins).
+    sanitize:
+        Arm the runtime sanitizer for this run: cross-rank collective
+        congruence checks, split-phase segment lifecycle guards, and a hang
+        watchdog that dumps the wedged rank's recent collective trace (see
+        :mod:`repro.mpisim.sanitize` and ``docs/static-analysis.md``).
+        ``None`` (default) follows the ``DIBELLA_SANITIZE`` environment
+        variable.  Checks are observation-only on the happy path: sanitized
+        runs produce bit-identical results and traces.
 
     Returns
     -------
@@ -86,5 +96,8 @@ def spmd_run(
         raise ValueError(
             f"topology describes {topology.n_ranks} ranks but n_ranks={n_ranks}"
         )
+    if sanitize is None:
+        sanitize = sanitize_default()
     runtime = resolve_backend(backend, pool=pool)
-    return runtime.run(n_ranks, fn, args, kwargs, topology, trace)
+    return runtime.run(n_ranks, fn, args, kwargs, topology, trace,
+                       sanitize=sanitize)

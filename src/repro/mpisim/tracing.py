@@ -14,7 +14,7 @@ only ever appends to its own per-rank record under a short lock.
 from __future__ import annotations
 
 import threading
-from collections import defaultdict
+from collections import defaultdict, deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -197,3 +197,44 @@ class CommTrace:
                     "max_rank_sent": float(traffic.volume.sum(axis=1).max(initial=0)),
                 }
         return out
+
+
+class CollectiveLog:
+    """Fixed-depth ring of one rank's most recent collective operations.
+
+    Kept by each communicator when the runtime sanitizer is on; when the
+    hang watchdog fires, this log is formatted into the
+    :class:`repro.mpisim.errors.CollectiveTimeoutError` message so the
+    divergence point (which op the wedged rank reached, and in which order)
+    is readable straight from the failure — the moral equivalent of a stack
+    trace for a bulk-synchronous schedule.
+
+    Entries are plain strings; this class only owns the ring and the
+    formatting.  It is per-rank and accessed from that rank's thread only,
+    so no locking is needed.
+    """
+
+    def __init__(self, depth: int = 16):
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        self._entries: deque[str] = deque(maxlen=depth)
+        self._total = 0
+
+    def record(self, entry: str) -> None:
+        """Append one collective-op description (oldest entries fall off)."""
+        self._entries.append(entry)
+        self._total += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def total_recorded(self) -> int:
+        """Collectives recorded over the rank's lifetime (not just retained)."""
+        return self._total
+
+    def dump(self) -> str:
+        """The retained trace, oldest first, one op per line."""
+        if not self._entries:
+            return "  (no collectives recorded)"
+        return "\n".join(f"  {entry}" for entry in self._entries)

@@ -20,19 +20,11 @@ import numpy as np
 import pytest
 
 from repro.core.config import SUPERSTEP_STAGES, PipelineConfig
+from repro.core.counters import SCHEDULE_FLAG_COUNTERS
 from repro.core.supersteps import ScheduleOutcome, StageTimer, SuperstepSchedule
 from repro.mpisim.errors import CollectiveMismatchError, RankFailedError
 from repro.mpisim.runtime import spmd_run
 from repro.mpisim.tracing import CommTrace
-
-#: Counters that legitimately differ across schedules (they *describe* the
-#: schedule); everything else must be bit-identical.
-SCHEDULE_FLAG_COUNTERS = {
-    f"{stage}_{suffix}"
-    for stage in SUPERSTEP_STAGES
-    for suffix in ("exchange_double_buffered", "steps_overlapped",
-                   "chunks_overlapped")
-}
 
 
 # ---------------------------------------------------------------------------

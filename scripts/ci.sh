@@ -87,6 +87,9 @@ DIBELLA_SANITIZE=1 python -m pytest tests -m "not slow" -q
 echo "== serve smoke: resident index, 2 query batches, zero rebuilds =="
 python scripts/serve_smoke.py
 
+echo "== chaos smoke: rank killed mid-batch, pool respawned, batch retried =="
+python scripts/serve_smoke.py --chaos
+
 if [ "$tier" = "all" ]; then
     echo "== slow tier: end-to-end pipeline tests (thread backend) =="
     python -m pytest tests -m slow -q

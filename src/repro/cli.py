@@ -153,6 +153,11 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="byte-capacity LRU bound (MiB) of each rank's "
                           "alignment-stage read cache; 0 (the default) is "
                           "unbounded (DIBELLA_READ_CACHE_MB has the same effect)")
+    run.add_argument("--fault-plan", default=None, metavar="PLAN",
+                     help="deterministic fault plan injected into the run, e.g. "
+                          "'kill:rank=2:step=3' (grammar in docs/fault-tolerance.md; "
+                          "kill faults need --backend process; "
+                          "DIBELLA_FAULT_PLAN has the same effect)")
     run.add_argument("--pool-stats", action="store_true",
                      help="print per-pool usage statistics (runs served, forks "
                           "amortised) after the run; only meaningful with --pool")
@@ -194,6 +199,16 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--sanitize", action="store_true", default=None,
                        help="arm the runtime sanitizer for every batch "
                             "(DIBELLA_SANITIZE=1 has the same effect)")
+    serve.add_argument("--fault-plan", default=None, metavar="PLAN",
+                       help="deterministic fault plan injected into the session "
+                            "(build = run 0, first batch = run 1; grammar in "
+                            "docs/fault-tolerance.md; DIBELLA_FAULT_PLAN has "
+                            "the same effect)")
+    serve.add_argument("--serve-max-retries", type=int, default=None,
+                       help="retries of an index build or query batch whose "
+                            "run died from a rank failure (default 2; 0 "
+                            "disables recovery; DIBELLA_SERVE_MAX_RETRIES has "
+                            "the same effect)")
     serve.add_argument("--pool-stats", action="store_true",
                        help="print per-pool usage statistics after the session")
 
@@ -215,6 +230,14 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--sanitize", action="store_true", default=None,
                        help="arm the runtime sanitizer for the batch "
                             "(DIBELLA_SANITIZE=1 has the same effect)")
+    query.add_argument("--fault-plan", default=None, metavar="PLAN",
+                       help="deterministic fault plan injected into the batch "
+                            "(grammar in docs/fault-tolerance.md; "
+                            "DIBELLA_FAULT_PLAN has the same effect)")
+    query.add_argument("--serve-max-retries", type=int, default=None,
+                       help="retries of a build/batch killed by a rank failure "
+                            "(default 2; DIBELLA_SERVE_MAX_RETRIES has the "
+                            "same effect)")
     query.add_argument("--overlaps-out",
                        help="write the query-vs-index alignments to this TSV file")
 
@@ -307,6 +330,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.seed_mode is not None or args.minimizer_window is not None:
         config = config.with_seed_mode(args.seed_mode or config.seed_mode,
                                        args.minimizer_window)
+    if args.fault_plan is not None:
+        # Fold the backend override in first: kill-plan validation depends
+        # on it (kill faults are rejected on the thread backend).
+        if args.backend is not None:
+            config = config.with_backend(args.backend)
+        config = config.with_fault_plan(args.fault_plan)
     result = run_dibella(reads, config=config, n_nodes=args.nodes,
                          ranks_per_node=args.ranks_per_node, backend=args.backend,
                          pool=args.pool)
@@ -346,6 +375,10 @@ def _serve_config(args: argparse.Namespace) -> PipelineConfig:
                                        args.minimizer_window)
     if getattr(args, "sanitize", None):
         config = config.with_sanitize(True)
+    if getattr(args, "fault_plan", None) is not None:
+        config = config.with_fault_plan(args.fault_plan)
+    if getattr(args, "serve_max_retries", None) is not None:
+        config = config.with_serve_max_retries(args.serve_max_retries)
     return config
 
 

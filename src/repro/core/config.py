@@ -16,6 +16,7 @@ from dataclasses import dataclass, field, replace
 from repro.align.batched_xdrop import DEFAULT_XDROP_BAND
 from repro.align.scoring import ScoringScheme
 from repro.kmers.reliable import high_frequency_threshold
+from repro.mpisim.faults import FaultPlan
 from repro.overlap.seeds import SeedStrategy
 from repro.seq.kmer import KmerSpec
 from repro.seq.records import ReadSet
@@ -209,6 +210,22 @@ class PipelineConfig:
         Observation-only on the happy path — sanitized runs are
         bit-identical to unsanitized ones.  The default honours
         ``DIBELLA_SANITIZE`` (CLI ``--sanitize``).
+    fault_plan:
+        Deterministic fault plan injected into this pipeline's SPMD runs
+        (grammar in :mod:`repro.mpisim.faults`, e.g.
+        ``"kill:rank=2:step=3"``): kill a rank process, stall a collective,
+        or fail a rank with a typed error at an exact superstep — the test
+        harness behind ``docs/fault-tolerance.md``.  ``kill`` faults need
+        ``backend="process"``.  ``None`` (the default) injects nothing; the
+        default honours ``DIBELLA_FAULT_PLAN`` (CLI ``--fault-plan``).
+    serve_max_retries:
+        How many times the :class:`~repro.core.service.AlignmentService`
+        retries an index build or query batch whose SPMD run died from a
+        rank failure (the evicted pool is respawned and the resident index
+        rebuilt; retried batches stay bit-identical).  ``0`` disables
+        recovery — the first :class:`~repro.mpisim.errors.RankFailedError`
+        propagates.  The default honours ``DIBELLA_SERVE_MAX_RETRIES``
+        (CLI ``--serve-max-retries``).
     """
 
     kmer: KmerSpec = field(default_factory=lambda: KmerSpec(k=17))
@@ -269,6 +286,12 @@ class PipelineConfig:
     sanitize: bool = field(
         default_factory=lambda: _env_flag("DIBELLA_SANITIZE", False)
     )
+    fault_plan: str | None = field(
+        default_factory=lambda: os.environ.get("DIBELLA_FAULT_PLAN") or None
+    )
+    serve_max_retries: int = field(
+        default_factory=lambda: int(os.environ.get("DIBELLA_SERVE_MAX_RETRIES", "2"))
+    )
 
     def __post_init__(self) -> None:
         if self.seed_mode not in ("reliable", "minimizer"):
@@ -314,6 +337,19 @@ class PipelineConfig:
             raise ValueError("serve_batch_reads must be >= 1")
         if self.read_cache_mb < 0:
             raise ValueError("read_cache_mb must be >= 0 (0 = unbounded)")
+        if self.serve_max_retries < 0:
+            raise ValueError("serve_max_retries must be >= 0 (0 = no recovery)")
+        if self.fault_plan is not None:
+            # Parse eagerly so a malformed plan fails at configuration time,
+            # not at an arbitrary later spmd_run.
+            plan = FaultPlan.parse(self.fault_plan)
+            if plan.has_kill and self.backend == "thread":
+                raise ValueError(
+                    "fault plan contains a 'kill' fault but backend='thread': "
+                    "ranks are threads of this process, so killing one would "
+                    "kill the whole run — use backend='process' (or an 'exit' "
+                    "fault)"
+                )
 
     # -- derived parameters ---------------------------------------------------
 
@@ -417,6 +453,14 @@ class PipelineConfig:
     def with_sanitize(self, sanitize: bool) -> "PipelineConfig":
         """Copy of this config with the runtime sanitizer armed or disarmed."""
         return replace(self, sanitize=sanitize)
+
+    def with_fault_plan(self, fault_plan: str | None) -> "PipelineConfig":
+        """Copy of this config injecting *fault_plan* (None = no faults)."""
+        return replace(self, fault_plan=fault_plan)
+
+    def with_serve_max_retries(self, serve_max_retries: int) -> "PipelineConfig":
+        """Copy of this config retrying failed serve runs *serve_max_retries* times."""
+        return replace(self, serve_max_retries=serve_max_retries)
 
     def with_seed_strategy(self, strategy: SeedStrategy) -> "PipelineConfig":
         """Copy of this config with a different seed strategy (bench helper)."""

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 __all__ = [
     "PIPELINE_COUNTERS",
+    "RECOVERY_COUNTERS",
     "REGISTERED_COUNTERS",
     "SCHEDULE_FLAG_COUNTERS",
     "is_registered",
@@ -102,6 +103,11 @@ PIPELINE_COUNTERS: dict[str, str] = {
     "alignment_steps_overlapped": "alignment fetch rounds whose compute overlapped a peer's exchange",
     "query_route_double_buffered": "1 if the query-routing exchange ran split-phase double-buffered",
     "query_route_steps_overlapped": "query-routing supersteps whose compute overlapped a peer's exchange",
+    # -- rank-failure recovery (see RECOVERY_COUNTERS) ----------------------
+    "rank_failures_detected": "dead rank processes detected by the runtime during this call",
+    "pool_respawns": "pool worker processes respawned after a failure eviction",
+    "query_batch_retries": "extra attempts a recovered query batch needed beyond the first",
+    "recovery_seconds": "wall seconds lost to failed attempts before the winning one (ceil, >=1 when retried)",
 }
 
 #: Every declared counter name (what the SL004 lint rule checks against).
@@ -122,6 +128,18 @@ SCHEDULE_FLAG_COUNTERS: frozenset[str] = frozenset({
     "alignment_steps_overlapped",
     "query_route_double_buffered",
     "query_route_steps_overlapped",
+})
+
+#: Counters that describe *recovery from injected or real rank failures*
+#: rather than the science: written by the service layer on results that
+#: needed retries (absent from failure-free runs), so bit-identity
+#: comparisons between a recovered run and a clean run exclude exactly this
+#: set (and nothing else) on the recovered side.
+RECOVERY_COUNTERS: frozenset[str] = frozenset({
+    "rank_failures_detected",
+    "pool_respawns",
+    "query_batch_retries",
+    "recovery_seconds",
 })
 
 

@@ -8,8 +8,15 @@ import numpy as np
 
 from repro.core.config import PipelineConfig
 from repro.core.result import PipelineResult, RankReport, StageRecord, STAGE_NAMES
-from repro.core.stages import run_index_build, run_query_batch, run_rank_pipeline
+from repro.core.stages import (
+    reset_persistent_read_caches,
+    reset_resident_indexes,
+    run_index_build,
+    run_query_batch,
+    run_rank_pipeline,
+)
 from repro.io.partition import partition_reads
+from repro.mpisim.faults import FaultPlan, RunFaults
 from repro.mpisim.runtime import spmd_run
 from repro.mpisim.topology import Topology
 from repro.mpisim.tracing import CommTrace
@@ -77,6 +84,32 @@ class DibellaPipeline:
         # resident-index generation tag query batches run against.
         self._index_readset: ReadSet | None = None
         self._index_tag: str | None = None
+        # One FaultPlan per pipeline: its run-binding cursor hands each
+        # spmd_run launch a stable ordinal (build = 0, first batch = 1, ...),
+        # so retried runs are fault-free unless the plan targets them.
+        self._fault_plan: FaultPlan | None = (
+            FaultPlan.parse(self.config.fault_plan)
+            if self.config.fault_plan else None
+        )
+
+    def _next_run_faults(self) -> RunFaults | None:
+        """The fault set of the next SPMD launch (None without a plan)."""
+        if self._fault_plan is None:
+            return None
+        return self._fault_plan.bind_next_run()
+
+    def invalidate_resident_state(self) -> None:
+        """Drop parent-process resident registries after a failed SPMD run.
+
+        Thread-backend runs keep read caches and resident index shards in
+        this process's registries; after a rank failure mid-build those can
+        hold partially-populated generations, so recovery clears them and
+        the retry rebuilds from scratch.  (Process-pool runs hold the
+        equivalents inside the evicted worker processes — eviction already
+        discarded them.)
+        """
+        reset_persistent_read_caches()
+        reset_resident_indexes()
 
     def run(self, readset: ReadSet) -> PipelineResult:
         """Run the full pipeline on *readset* and return the assembled result."""
@@ -112,6 +145,7 @@ class DibellaPipeline:
             backend=config.backend,
             pool=config.pool,
             sanitize=config.sanitize,
+            faults=self._next_run_faults(),
             cache_tag=cache_tag,
         )
         wall_seconds = time.perf_counter() - start
@@ -189,6 +223,7 @@ class DibellaPipeline:
             backend=config.backend,
             pool=config.pool,
             sanitize=config.sanitize,
+            faults=self._next_run_faults(),
             cache_tag=self._pool_cache_tag(index_tag),
         )
         wall_seconds = time.perf_counter() - start
@@ -275,6 +310,7 @@ class DibellaPipeline:
             backend=config.backend,
             pool=config.pool,
             sanitize=config.sanitize,
+            faults=self._next_run_faults(),
             # Query runs share the *index* generation's read caches: index
             # reads stay warm across batches, and each batch's query RIDs
             # are evicted on entry (RIDs >= n_index_reads are reused).

@@ -24,18 +24,32 @@ every batch after the first touches zero index-build code paths
 (``index_reuse_hits`` in each record's counters).  With the process backend
 the service forces the persistent rank pool on — without it every batch
 would land on freshly forked workers and rebuild the index.
+
+The service survives rank failures: a build or batch whose SPMD run died
+from a :class:`~repro.mpisim.errors.RankFailedError` is retried up to
+``config.serve_max_retries`` times with exponential backoff.  The runtime
+has already evicted the broken pool by then; the retry lands on freshly
+respawned workers, which rebuild the resident index inside the run (the
+PR 6 rebuild path), so retried batches return bit-identical alignments.
+Successful-but-retried results carry the recovery evidence in their
+counters (``query_batch_retries``, ``rank_failures_detected``,
+``pool_respawns``, ``recovery_seconds``); see ``docs/fault-tolerance.md``.
 """
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, replace
+from typing import Callable
 
 import numpy as np
 
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import DibellaPipeline
 from repro.core.result import PipelineResult
+from repro.mpisim.backend import recovery_counters
+from repro.mpisim.errors import RankFailedError
 from repro.mpisim.topology import Topology
 from repro.seq.records import Read, ReadSet
 
@@ -111,13 +125,74 @@ class AlignmentService:
         self.records: list[QueryBatchRecord] = []
         self._pending: list[tuple[int, list[Read]]] = []
         self._next_submission = 0
+        self._closed = False
+
+    def _check_open(self, what: str) -> None:
+        if self._closed:
+            raise RuntimeError(
+                f"cannot {what}: this AlignmentService was shut down (its "
+                "pooled ranks and resident index are gone); build a new one"
+            )
+
+    # -- recovery ------------------------------------------------------------
+
+    def _run_recovering(
+        self,
+        run_once: Callable[[], PipelineResult],
+        retry_counter: str | None = None,
+    ) -> PipelineResult:
+        """Run one SPMD phase, retrying on rank failure.
+
+        A :class:`RankFailedError` means the runtime already reaped the run
+        and (under the pool) evicted the broken pool; this wrapper clears the
+        parent-side resident registries, backs off exponentially, and
+        re-runs — up to ``config.serve_max_retries`` times, after which the
+        last failure propagates.  A successful retried result gets the
+        recovery evidence folded into its counters: *retry_counter* (attempts
+        beyond the first), the runtime's ``rank_failures_detected`` /
+        ``pool_respawns`` deltas across the whole call, and
+        ``recovery_seconds`` (wall time lost before the winning attempt
+        started, rounded up — at least 1 when any retry happened).
+        """
+        before = recovery_counters()
+        first_start = time.perf_counter()
+        retries = 0
+        while True:
+            attempt_start = time.perf_counter()
+            try:
+                result = run_once()
+            except RankFailedError:
+                if retries >= self.config.serve_max_retries:
+                    raise
+                retries += 1
+                self.pipeline.invalidate_resident_state()
+                time.sleep(min(2.0, 0.05 * (2 ** (retries - 1))))
+                continue
+            after = recovery_counters()
+            counters = result.counters
+            for key in ("rank_failures_detected", "pool_respawns"):
+                delta = after[key] - before[key]
+                if delta:
+                    # spmdlint: disable=SL004 registered recovery counters
+                    # (repro.core.counters); written here, outside the ranks.
+                    counters[key] = counters.get(key, 0) + delta
+            if retries:
+                if retry_counter is not None:
+                    counters[retry_counter] = (
+                        counters.get(retry_counter, 0) + retries)
+                counters["recovery_seconds"] = (
+                    counters.get("recovery_seconds", 0)
+                    + max(1, math.ceil(attempt_start - first_start)))
+            return result
 
     # -- build phase ---------------------------------------------------------
 
     def build(self) -> PipelineResult:
         """Build the resident index now (idempotent; drain calls it lazily)."""
+        self._check_open("build the index")
         if self.build_result is None:
-            self.build_result = self.pipeline.build_index(self.index_reads)
+            self.build_result = self._run_recovering(
+                lambda: self.pipeline.build_index(self.index_reads))
         return self.build_result
 
     # -- admission -----------------------------------------------------------
@@ -129,6 +204,7 @@ class AlignmentService:
         ``q<submission>/<original name>`` so distinct submissions (and the
         index read set) never collide on names.
         """
+        self._check_open("submit queries")
         read_list = list(reads)
         if not read_list:
             raise ValueError("cannot submit an empty query read set")
@@ -172,13 +248,19 @@ class AlignmentService:
         coalesced into batches of at most ``config.serve_batch_reads`` reads
         and each batch is one SPMD run against the resident index.
         """
+        self._check_open("drain queries")
         self.build()
         new_records: list[QueryBatchRecord] = []
         while self._pending:
             batch, n_submissions = self._take_batch()
             query_set = ReadSet(batch)
             start = time.perf_counter()
-            result = self.pipeline.run_query_batch(query_set)
+            # Retries happen inside the timed window: a recovered batch's
+            # wall_seconds (and latency_stats) include the recovery cost.
+            result = self._run_recovering(
+                lambda: self.pipeline.run_query_batch(query_set),
+                retry_counter="query_batch_retries",
+            )
             wall_seconds = time.perf_counter() - start
             record = QueryBatchRecord(
                 batch_index=len(self.records),
@@ -211,7 +293,14 @@ class AlignmentService:
         }
 
     def shutdown(self) -> None:
-        """Release the service's pooled ranks (and their resident indexes)."""
+        """Release the service's pooled ranks (and their resident indexes).
+
+        Idempotent.  Afterwards :meth:`build`, :meth:`submit` and
+        :meth:`drain` raise ``RuntimeError`` — the resident index is gone,
+        so silently rebuilding on a "closed" service would hide a lifecycle
+        bug in the caller.
+        """
         from repro.mpisim.backend import shutdown_rank_pools
 
+        self._closed = True
         shutdown_rank_pools()

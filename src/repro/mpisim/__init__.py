@@ -39,6 +39,8 @@ from repro.mpisim.backend import (
     ThreadBackend,
     active_rank_pools,
     rank_pool_stats,
+    recovery_counters,
+    reset_recovery_counters,
     resolve_backend,
     shutdown_rank_pools,
 )
@@ -46,10 +48,12 @@ from repro.mpisim.runtime import spmd_run, SPMDError
 from repro.mpisim.errors import (
     CollectiveMismatchError,
     CollectiveTimeoutError,
+    InjectedFaultError,
     RankFailedError,
     SanitizerError,
     SegmentStateError,
 )
+from repro.mpisim.faults import FaultPlan, FaultSpec, RunFaults
 from repro.mpisim.collectives import (
     bucket_by_destination,
     payload_nbytes,
@@ -71,13 +75,19 @@ __all__ = [
     "active_rank_pools",
     "rank_pool_stats",
     "BACKEND_NAMES",
+    "recovery_counters",
+    "reset_recovery_counters",
     "spmd_run",
     "SPMDError",
     "CollectiveMismatchError",
     "CollectiveTimeoutError",
+    "InjectedFaultError",
     "RankFailedError",
     "SanitizerError",
     "SegmentStateError",
+    "FaultPlan",
+    "FaultSpec",
+    "RunFaults",
     "payload_nbytes",
     "payload_signature",
     "bucket_by_destination",

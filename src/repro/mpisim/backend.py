@@ -49,6 +49,7 @@ from repro.mpisim.errors import (
     RankFailedError,
     SegmentStateError,
 )
+from repro.mpisim.faults import RunFaults
 from repro.mpisim.sanitize import watchdog_timeout
 from repro.mpisim.serialization import decode_payload, encode_payload
 from repro.mpisim.topology import Topology
@@ -62,6 +63,8 @@ __all__ = [
     "shutdown_rank_pools",
     "active_rank_pools",
     "rank_pool_stats",
+    "recovery_counters",
+    "reset_recovery_counters",
     "BACKEND_NAMES",
 ]
 
@@ -77,6 +80,41 @@ _OP_LEN = 48     # collective op names ("allreduce:sum", ...), truncated to fit
 #: waits at a barrier for as long as the slowest peer computes, so the
 #: default is generous.  Override with DIBELLA_BARRIER_TIMEOUT (seconds).
 _BARRIER_TIMEOUT = float(os.environ.get("DIBELLA_BARRIER_TIMEOUT", "600"))
+
+
+# ---------------------------------------------------------------------------
+# Recovery accounting (docs/fault-tolerance.md)
+# ---------------------------------------------------------------------------
+
+_RECOVERY_LOCK = threading.Lock()
+_RECOVERY_COUNTERS = {"rank_failures_detected": 0, "pool_respawns": 0}
+
+
+def _note_recovery(key: str, n: int = 1) -> None:
+    with _RECOVERY_LOCK:
+        _RECOVERY_COUNTERS[key] += n
+
+
+def recovery_counters() -> dict[str, int]:
+    """Process-wide failure-recovery counters.
+
+    ``rank_failures_detected`` counts worker processes whose death the
+    parent detected (silent exits mid-run, or deaths while parked in the
+    pool); ``pool_respawns`` counts the pooled workers respawned because a
+    failure evicted their pool.  The :class:`~repro.core.service.AlignmentService`
+    snapshots these around each retried run and folds the delta into the
+    run's result counters.
+    """
+    with _RECOVERY_LOCK:
+        return dict(_RECOVERY_COUNTERS)
+
+
+def reset_recovery_counters() -> None:
+    """Zero the recovery counters (tests and smoke scripts)."""
+    with _RECOVERY_LOCK:
+        for key in _RECOVERY_COUNTERS:
+            _RECOVERY_COUNTERS[key] = 0
+        _EVICTED_KEYS.clear()
 
 
 class RuntimeBackend(ABC):
@@ -95,13 +133,16 @@ class RuntimeBackend(ABC):
         topology: Topology | None,
         trace: CommTrace | None,
         sanitize: bool = False,
+        faults: RunFaults | None = None,
     ) -> list[Any]:
         """Execute ``fn(comm, *args, **kwargs)`` on every rank, return results
         in rank order; raise :class:`RankFailedError` if any rank failed.
 
         ``sanitize`` arms the runtime sanitizer on this run's collective
         engine (congruence checks, split-phase segment guards, hang
-        watchdog — see :mod:`repro.mpisim.sanitize`)."""
+        watchdog — see :mod:`repro.mpisim.sanitize`).  ``faults`` is this
+        run's bound fault plan (:mod:`repro.mpisim.faults`), handed to every
+        rank's communicator."""
 
 
 def resolve_backend(backend: str | RuntimeBackend | None,
@@ -136,14 +177,22 @@ class ThreadBackend(RuntimeBackend):
 
     name = "thread"
 
-    def run(self, n_ranks, fn, args, kwargs, topology, trace, sanitize=False):
+    def run(self, n_ranks, fn, args, kwargs, topology, trace, sanitize=False,
+            faults=None):
+        if faults is not None and faults.has_kill:
+            raise ValueError(
+                "the thread backend cannot inject 'kill' faults: ranks are "
+                "threads of this process, so killing one would kill the "
+                "whole run — use backend='process' (or an 'exit' fault)"
+            )
         state = _CollectiveState(n_ranks, sanitize=sanitize)
         results: list[Any] = [None] * n_ranks
         failures: list[tuple[int, BaseException]] = []
         failures_lock = threading.Lock()
 
         def worker(rank: int) -> None:
-            comm = SimCommunicator(rank, n_ranks, state, topology=topology, trace=trace)
+            comm = SimCommunicator(rank, n_ranks, state, topology=topology,
+                                   trace=trace, faults=faults)
             try:
                 results[rank] = fn(comm, *args, **kwargs)
             except threading.BrokenBarrierError:
@@ -627,6 +676,37 @@ class _ProcessCollectiveEngine:
             self._destroy(self._x_inflight[seq])
         self._x_inflight.clear()
 
+    def reclaim_orphan_segments(self) -> list[str]:
+        """Parent-side: unlink every segment still named in the shared metadata.
+
+        After a worker dies without cleanup (SIGKILL, OOM) its published
+        segments — central contributions, split-phase exchange slots
+        (including half-published supersteps no peer ever consumed), elected
+        results and the error slot — survive in ``/dev/shm``.  Their names
+        are all recorded in the engine's metadata arrays, so the parent can
+        reclaim them by name.  Must only be called once every worker of this
+        engine is joined: a live worker may still be writing.  Names whose
+        segments were already legitimately unlinked are skipped
+        (``FileNotFoundError`` on attach).  Returns the reclaimed names.
+        """
+        names: set[str] = set()
+        for rank in range(self.n_ranks):
+            names.add(self._get_str(self._contrib_names, rank, _NAME_LEN))
+            names.add(self._get_str(self._result_names, rank, _NAME_LEN))
+            for slot in range(EXCHANGE_SLOTS):
+                names.add(self._get_str(self._x_names[slot], rank, _NAME_LEN))
+        names.add(self._get_str(self._error_name, 0, _NAME_LEN))
+        names.discard("")
+        reclaimed: list[str] = []
+        for name in sorted(names):
+            try:
+                shm = SharedMemory(name=name)
+            except FileNotFoundError:
+                continue
+            self._destroy(shm)
+            reclaimed.append(name)
+        return reclaimed
+
     def reset_between_runs(self) -> None:
         """Re-arm the split-phase exchange state for the next pooled run.
 
@@ -654,10 +734,12 @@ def _run_rank_job(
     topology: Topology | None,
     want_trace: bool,
     results_queue,
+    faults: RunFaults | None = None,
 ) -> None:
     """Run one rank program against *engine* and ship back result + trace."""
     trace = CommTrace(n_ranks) if want_trace else None
-    comm = SimCommunicator(rank, n_ranks, engine, topology=topology, trace=trace)
+    comm = SimCommunicator(rank, n_ranks, engine, topology=topology,
+                           trace=trace, faults=faults)
     status, payload = "ok", None
     try:
         payload = fn(comm, *args, **kwargs)
@@ -691,10 +773,11 @@ def _process_worker(
     topology: Topology | None,
     want_trace: bool,
     results_queue,
+    faults: RunFaults | None = None,
 ) -> None:
     """Body of one single-run rank process."""
     _run_rank_job(rank, n_ranks, engine, fn, args, kwargs, topology,
-                  want_trace, results_queue)
+                  want_trace, results_queue, faults)
 
 
 def _pooled_worker(
@@ -734,9 +817,68 @@ def _pooled_worker(
                 "(pooled rank programs must be importable from the worker)"
             ), None))
             return  # the parent evicts this pool; do not park again
-        fn, args, kwargs, topology, want_trace = job
+        fn, args, kwargs, topology, want_trace, faults = job
         _run_rank_job(rank, n_ranks, engine, fn, args, kwargs, topology,
-                      want_trace, results_queue)
+                      want_trace, results_queue, faults)
+
+
+def _dead_worker_ranks(workers: list, skip: set[int]) -> list[int]:
+    """Ranks (outside *skip*) whose process sentinel reports an exited worker."""
+    from multiprocessing import connection as mp_connection
+
+    sentinels = {proc.sentinel: rank for rank, proc in enumerate(workers)
+                 if rank not in skip}
+    if not sentinels:
+        return []
+    ready = mp_connection.wait(list(sentinels), timeout=0)
+    return sorted(sentinels[sentinel] for sentinel in ready)
+
+
+def _reap_after_death(
+    workers: list,
+    results_queue,
+    reported: dict[int, tuple[str, Any, dict | None]],
+    dead_ranks: set[int],
+) -> None:
+    """Stop the survivors of a silent worker death and salvage late reports.
+
+    The survivors are blocked waiting on the dead rank inside the engine's
+    ``multiprocessing`` primitives, and waking them with ``engine.abort()``
+    is NOT an option: notifying a Condition (or breaking a Barrier, which
+    notifies internally) whose registered waiter was killed blocks forever
+    on the dead sleeper's wakeup handshake.  So the parent terminates the
+    unreported survivors directly; their leaked shared-memory segments are
+    reclaimed by name afterwards (``reclaim_orphan_segments``).  Survivors
+    that already reported are left alone — pooled workers park again and are
+    dealt with by the pool eviction.
+    """
+    for rank, proc in enumerate(workers):
+        if rank in reported or rank in dead_ranks:
+            continue
+        if proc.is_alive():
+            proc.terminate()
+    deadline = time.monotonic() + 10.0
+    for rank, proc in enumerate(workers):
+        if rank in reported:
+            continue
+        proc.join(timeout=max(0.1, deadline - time.monotonic()))
+        if proc.is_alive():  # pragma: no cover - last resort
+            proc.kill()
+            proc.join(timeout=5.0)
+    # A terminated survivor may have flushed its report just before the
+    # signal landed; salvage whatever reached the queue.
+    while True:
+        try:
+            rank, status, payload, snapshot = results_queue.get_nowait()
+        except queue_module.Empty:
+            break
+        except Exception:  # pragma: no cover - feeder killed mid-write
+            break
+        if rank not in dead_ranks:
+            reported[rank] = (status, payload, snapshot)
+    for rank in range(len(workers)):
+        if rank not in reported and rank not in dead_ranks:
+            reported[rank] = ("broken", None, None)
 
 
 def _drain_results(
@@ -749,33 +891,44 @@ def _drain_results(
 
     Results are drained *before* joining: a worker only exits once its queue
     feeder thread has flushed, so joining first could deadlock on large
-    results.  A worker that dies without reporting (segfault, kill) is
-    detected by its exit code after a short grace period.
+    results.  A worker that dies without reporting (segfault, kill, OOM) is
+    detected by polling the process sentinels between queue reads — never by
+    waiting on the engine barrier, which the dead rank can no longer
+    satisfy — and after a short grace period (long enough for an in-flight
+    report of a cleanly-exiting worker to land) the death is recorded as a
+    rank failure, the blocked survivors are stopped, and the caller's
+    recovery path takes over (pool eviction + segment reclamation).
     """
     reported: dict[int, tuple[str, Any, dict | None]] = {}
     failures: list[tuple[int, BaseException]] = []
-    failed_ranks: set[int] = set()
     dead_deadline: dict[int, float] = {}
-    while len(reported) + len(failures) < n_ranks:
+    while len(reported) < n_ranks:
         try:
-            rank, status, payload, snapshot = results_queue.get(timeout=0.5)
+            rank, status, payload, snapshot = results_queue.get(timeout=0.25)
             reported[rank] = (status, payload, snapshot)
+            continue
         except queue_module.Empty:
-            now = time.monotonic()
-            for rank, proc in enumerate(workers):
-                if rank in reported or rank in failed_ranks:
-                    continue
-                if proc.exitcode is None:
-                    continue
-                if rank not in dead_deadline:
-                    dead_deadline[rank] = now + 5.0
-                elif now >= dead_deadline[rank]:
-                    engine.abort()  # wake peers blocked on the dead rank
-                    failed_ranks.add(rank)
-                    failures.append((rank, RuntimeError(
-                        f"rank process exited with code {proc.exitcode} "
-                        "without reporting a result"
-                    )))
+            pass
+        now = time.monotonic()
+        confirmed: list[int] = []
+        for rank in _dead_worker_ranks(workers, skip=set(reported)):
+            if rank not in dead_deadline:
+                # A worker that exited cleanly (code 0) may still have its
+                # report in the pipe; give it longer than a killed one.
+                grace = 5.0 if workers[rank].exitcode == 0 else 0.5
+                dead_deadline[rank] = now + grace
+            elif now >= dead_deadline[rank]:
+                confirmed.append(rank)
+        if not confirmed:
+            continue
+        for rank in confirmed:
+            failures.append((rank, RuntimeError(
+                f"rank process exited with code {workers[rank].exitcode} "
+                "without reporting a result"
+            )))
+        _note_recovery("rank_failures_detected", len(confirmed))
+        _reap_after_death(workers, results_queue, reported, set(confirmed))
+        break
     return reported, failures
 
 
@@ -903,7 +1056,8 @@ class _RankPool:
         for proc in self.workers:
             proc.start()
 
-    def run(self, fn, args, kwargs, topology, trace, sanitize=False) -> list[Any]:
+    def run(self, fn, args, kwargs, topology, trace, sanitize=False,
+            faults=None) -> list[Any]:
         if self.broken:
             raise RuntimeError("rank pool is broken; it should have been evicted")
         # Pickle the job HERE, once: Queue.put pickles in a background feeder
@@ -912,7 +1066,8 @@ class _RankPool:
         # forever.  This way the error surfaces in the caller while every
         # worker is still safely parked (the pool stays usable).
         try:
-            job = pickle.dumps((fn, args, kwargs, topology, trace is not None))
+            job = pickle.dumps((fn, args, kwargs, topology, trace is not None,
+                                faults))
         except Exception as exc:
             raise TypeError(
                 f"pooled rank program is not picklable: {type(exc).__name__}: "
@@ -939,6 +1094,7 @@ class _RankPool:
                         if proc.exitcode is not None]
         if dead or self.park_barrier.broken:
             self.broken = True
+            _note_recovery("rank_failures_detected", max(1, len(dead)))
             _evict_pool(self)
             raise RankFailedError(
                 f"pooled rank processes {dead or '(unknown)'} died while "
@@ -960,9 +1116,17 @@ class _RankPool:
         return results
 
     def shutdown(self) -> None:
-        """Stop the workers and release every pool resource."""
+        """Stop the workers and release every pool resource.
+
+        Robust to workers that died undetected: the sentinel+barrier path
+        runs only when *every* worker is still alive, because releasing the
+        park barrier with a dead party registered as a waiter would wedge
+        the parent inside ``multiprocessing``'s notify handshake (the same
+        hazard the broken path below documents).
+        """
         alive = [proc for proc in self.workers if proc.is_alive()]
-        if alive and not self.broken:
+        any_dead = any(proc.exitcode is not None for proc in self.workers)
+        if alive and not self.broken and not any_dead:
             for job_queue in self.job_queues:
                 job_queue.put(None)
             try:
@@ -972,30 +1136,43 @@ class _RankPool:
                     if proc.is_alive():
                         proc.terminate()
         elif alive:
-            # Broken pool (a rank failed, or a worker died while parked).
-            # Do NOT wake the survivors through the barrier/condition: with
-            # a dead process still registered as a waiter,
+            # Broken pool (a rank failed, or a worker died — detected or
+            # not).  Do NOT wake the survivors through the barrier/condition:
+            # with a dead process still registered as a waiter,
             # multiprocessing.Condition.notify blocks forever waiting for
-            # its acknowledgement.  The survivors are parked (they hold no
-            # shared-memory segments between jobs), so stop them directly.
+            # its acknowledgement.  The survivors hold no new shared-memory
+            # segments once stopped, so stop them directly.
             for proc in alive:
                 proc.terminate()
         for proc in self.workers:
             proc.join(timeout=5.0)
         for proc in self.workers:
             if proc.is_alive():  # pragma: no cover - last resort
-                proc.terminate()
+                proc.kill()
                 proc.join(timeout=5.0)
         for job_queue in self.job_queues:
             job_queue.close()
             job_queue.join_thread()
         self.results_queue.close()
         self.results_queue.join_thread()
+        # An unclean end (failure, kill, terminate) can leave the dead and
+        # terminated workers' segments — including half-published
+        # split-phase supersteps — in /dev/shm; every worker is joined now,
+        # so reclaim them by name.
+        if any(proc.exitcode != 0 for proc in self.workers) and not any(
+                proc.is_alive() for proc in self.workers):
+            self.engine.reclaim_orphan_segments()
 
 
 #: Live pools keyed by (start_method, n_ranks); guarded by _POOLS_LOCK.
 _POOLS: dict[tuple[str, int], _RankPool] = {}
 _POOLS_LOCK = threading.Lock()
+
+#: Pool keys evicted by a failure whose replacement has not been built yet;
+#: the next _acquire_pool for such a key counts its fresh workers as
+#: respawns (``pool_respawns``).  Deliberate teardown (shutdown_rank_pools)
+#: clears the set — a later pool is then a cold start, not a recovery.
+_EVICTED_KEYS: set[tuple[str, int]] = set()
 
 
 def _acquire_pool(ctx, start_method: str, n_ranks: int) -> _RankPool:
@@ -1007,6 +1184,9 @@ def _acquire_pool(ctx, start_method: str, n_ranks: int) -> _RankPool:
                 pool.shutdown()
             pool = _RankPool(ctx, start_method, n_ranks)
             _POOLS[key] = pool
+            if key in _EVICTED_KEYS:
+                _EVICTED_KEYS.discard(key)
+                _note_recovery("pool_respawns", n_ranks)
         return pool
 
 
@@ -1015,6 +1195,7 @@ def _evict_pool(pool: _RankPool) -> None:
         for key, candidate in list(_POOLS.items()):
             if candidate is pool:
                 del _POOLS[key]
+        _EVICTED_KEYS.add((pool.start_method, pool.n_ranks))
     pool.shutdown()
 
 
@@ -1055,6 +1236,7 @@ def shutdown_rank_pools() -> None:
     with _POOLS_LOCK:
         pools = list(_POOLS.values())
         _POOLS.clear()
+        _EVICTED_KEYS.clear()
     for pool in pools:
         pool.shutdown()
 
@@ -1091,10 +1273,12 @@ class ProcessBackend(RuntimeBackend):
         self.start_method = start_method
         self.use_pool = pool
 
-    def run(self, n_ranks, fn, args, kwargs, topology, trace, sanitize=False):
+    def run(self, n_ranks, fn, args, kwargs, topology, trace, sanitize=False,
+            faults=None):
         if self.use_pool:
             rank_pool = _acquire_pool(self._ctx, self.start_method, n_ranks)
-            return rank_pool.run(fn, args, kwargs, topology, trace, sanitize)
+            return rank_pool.run(fn, args, kwargs, topology, trace, sanitize,
+                                 faults)
 
         _ensure_resource_tracker()
         engine = _ProcessCollectiveEngine(self._ctx, n_ranks, sanitize=sanitize)
@@ -1103,7 +1287,7 @@ class ProcessBackend(RuntimeBackend):
             self._ctx.Process(
                 target=_process_worker,
                 args=(rank, n_ranks, engine, fn, args, kwargs, topology,
-                      trace is not None, results_queue),
+                      trace is not None, results_queue, faults),
                 name=f"spmd-rank-{rank}",
             )
             for rank in range(n_ranks)
@@ -1114,4 +1298,8 @@ class ProcessBackend(RuntimeBackend):
         for proc in workers:
             proc.join()
         results_queue.close()
+        if failures:
+            # Silent deaths skip all worker-side cleanup; every worker is
+            # joined now, so reclaim the leaked segments by name.
+            engine.reclaim_orphan_segments()
         return _assemble_results(reported, failures, trace, n_ranks)

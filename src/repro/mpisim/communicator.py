@@ -40,6 +40,7 @@ from repro.mpisim.errors import (
     CollectiveTimeoutError,
     SegmentStateError,
 )
+from repro.mpisim.faults import RunFaults
 from repro.mpisim.sanitize import TRACE_DEPTH, watchdog_timeout
 from repro.mpisim.topology import Topology
 from repro.mpisim.tracing import CollectiveLog, CommTrace
@@ -317,6 +318,10 @@ class SimCommunicator:
         Rank→node mapping; defaults to a single node hosting all ranks.
     trace:
         Optional :class:`CommTrace` receiving byte/message accounting.
+    faults:
+        Optional :class:`~repro.mpisim.faults.RunFaults` bound to this run;
+        the rank's injector fires before each collective it issues (see
+        :mod:`repro.mpisim.faults` for the superstep-ordinal semantics).
     """
 
     def __init__(
@@ -326,6 +331,7 @@ class SimCommunicator:
         engine: CollectiveEngine,
         topology: Topology | None = None,
         trace: CommTrace | None = None,
+        faults: RunFaults | None = None,
     ) -> None:
         if not (0 <= rank < size):
             raise ValueError(f"rank {rank} out of range for size {size}")
@@ -349,11 +355,16 @@ class SimCommunicator:
         # Engines without the attribute (custom test engines) run unchecked.
         self._sanitize = bool(getattr(engine, "sanitize", False))
         self._collective_log = CollectiveLog(TRACE_DEPTH) if self._sanitize else None
+        # Current phase label, tracked trace-or-not: fault specs with a
+        # stage= criterion match against it.
+        self._phase = ""
+        self._faults = faults.injector(rank) if faults is not None else None
 
     # -- phase labelling -------------------------------------------------------
 
     def set_phase(self, phase: str) -> None:
         """Attribute subsequent traffic from this rank to *phase* in the trace."""
+        self._phase = phase
         if self.trace is not None:
             self.trace.set_phase(self.rank, phase)
 
@@ -368,6 +379,8 @@ class SimCommunicator:
         that must agree across ranks for this op ("" for ops whose payloads
         are legitimately rank-asymmetric, e.g. ``bcast``).
         """
+        if self._faults is not None:
+            self._faults.before_op(op_name, self._phase)
         if self._sanitize:
             self._sanitize_congruence(op_name, "sync", signature)
         return self._engine_call(
@@ -560,6 +573,11 @@ class SimCommunicator:
             result = self._collective(op_name, send, self._transpose_combine(),
                                       signature=payload_signature(send))
             return ExchangeHandle(op_name=op_name, result=result, label=label)
+        # The synchronous fallback above hooks faults inside _collective;
+        # the split-phase path hooks here, so each start counts exactly one
+        # superstep ordinal either way.
+        if self._faults is not None:
+            self._faults.before_op(op_name, self._phase)
         if self._sanitize:
             # "split" in the digest: a rank taking the synchronous alltoallv
             # path while a peer split-phases the same label is a schedule

@@ -23,6 +23,15 @@ class RankFailedError(SPMDError):
     """
 
 
+class InjectedFaultError(SPMDError):
+    """Raised by an ``exit`` fault of a deterministic fault plan.
+
+    Fault plans (:mod:`repro.mpisim.faults`, ``--fault-plan``) deliberately
+    fail a rank at an exact superstep; ``exit`` faults surface as this typed
+    error so chaos tests can tell an injected failure from a real bug.
+    """
+
+
 class SanitizerError(SPMDError):
     """Base class for errors raised only under ``DIBELLA_SANITIZE``.
 

@@ -1,0 +1,285 @@
+"""Deterministic fault injection for the simulated SPMD runtime.
+
+The paper's target machines lose workers routinely at 64-1,024+ node scale;
+to test the recovery machinery (``docs/fault-tolerance.md``) without flaky
+timing races, faults are injected at an exact, reproducible point of the
+collective schedule instead of at a wall-clock instant.
+
+A :class:`FaultPlan` is parsed from ``--fault-plan`` / ``DIBELLA_FAULT_PLAN``
+and threaded through :func:`repro.mpisim.runtime.spmd_run` into every rank's
+:class:`~repro.mpisim.communicator.SimCommunicator`, which calls
+:meth:`FaultInjector.before_op` once per user-level collective the rank
+issues.  That call site defines the *superstep ordinal* faults are keyed on:
+the 0-based count of collectives (``barrier``, ``allreduce``, ``alltoallv``,
+``alltoallv_start``, ...) this rank has entered, identical across backends
+and unaffected by the sanitizer's internal congruence collectives — so
+``kill:rank=2:step=3`` kills rank 2 at the same schedule point on every run.
+
+Grammar (specs separated by ``;``)::
+
+    spec   := action (":" key "=" value)*
+    action := "kill" | "delay" | "exit"
+    keys   := rank (required) | step | op | stage | ms | run
+
+* ``kill`` — SIGKILL the rank process (process backend only: a thread rank
+  shares the test process, so the thread backend rejects kill plans).
+* ``delay`` — sleep ``ms`` milliseconds before entering the collective
+  (stalls the peers; under the sanitizer the watchdog sees it).
+* ``exit`` — raise :class:`~repro.mpisim.errors.InjectedFaultError` (an
+  ordinary rank failure: the runtime aborts cleanly and reports it).
+
+A spec fires on the first collective matching **all** of its present
+criteria, at most once:
+
+* ``rank=R`` — only on rank R;
+* ``step=S`` — only at superstep ordinal S;
+* ``op=NAME`` — only when the engine op name matches NAME exactly
+  (``alltoallv[overlap]``) or NAME is its unlabelled base (``alltoallv``);
+* ``stage=NAME`` — only while the communicator's current phase label starts
+  with NAME (``stage=alignment`` matches phase ``alignment_exchange``);
+* ``ms=N`` — delay length (``delay`` only);
+* ``run=K`` — only during the K-th ``spmd_run`` bound from this plan
+  (default 0: the first run).  The pipeline binds one
+  :class:`RunFaults` per launch via :meth:`FaultPlan.bind_next_run`, so a
+  *retried* run is fault-free by default — which is what makes
+  kill-once-then-recover deterministic — and a serve workload can target
+  "the first query batch" with ``run=1`` (the index build is run 0).
+
+Examples::
+
+    kill:rank=2:step=3
+    delay:rank=1:op=alltoallv[overlap]:ms=500
+    exit:rank=0:stage=alignment
+    kill:rank=1:step=4:run=1
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+
+from repro.mpisim.errors import InjectedFaultError
+
+__all__ = ["FaultSpec", "FaultPlan", "RunFaults", "FaultInjector",
+           "resolve_run_faults"]
+
+#: Supported fault actions.
+FAULT_ACTIONS: tuple[str, ...] = ("kill", "delay", "exit")
+
+#: Environment variable holding the default fault plan (see PipelineConfig).
+FAULT_PLAN_ENV = "DIBELLA_FAULT_PLAN"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: an action plus the criteria selecting where it fires."""
+
+    action: str
+    rank: int
+    step: int | None = None
+    op: str | None = None
+    stage: str | None = None
+    ms: float = 0.0
+    run: int = 0
+
+    def __post_init__(self) -> None:
+        if self.action not in FAULT_ACTIONS:
+            raise ValueError(
+                f"unknown fault action {self.action!r}; expected one of "
+                f"{FAULT_ACTIONS}"
+            )
+        if self.rank < 0:
+            raise ValueError("fault rank must be >= 0")
+        if self.step is not None and self.step < 0:
+            raise ValueError("fault step must be >= 0")
+        if self.ms < 0:
+            raise ValueError("fault ms must be >= 0")
+        if self.run < 0:
+            raise ValueError("fault run must be >= 0")
+        if self.action == "delay" and self.ms == 0:
+            raise ValueError("delay faults need ms=<milliseconds>")
+
+    def matches(self, op_name: str, phase: str, step: int) -> bool:
+        """Whether this spec fires at (*op_name*, *phase*, superstep *step*).
+
+        The rank criterion is applied earlier, when the owning
+        :class:`RunFaults` builds one :class:`FaultInjector` per rank.
+        """
+        if self.step is not None and self.step != step:
+            return False
+        if self.op is not None and self.op not in (
+                op_name, op_name.split("[", 1)[0]):
+            return False
+        if self.stage is not None and not phase.startswith(self.stage):
+            return False
+        return True
+
+    def describe(self) -> str:
+        parts = [self.action, f"rank={self.rank}"]
+        if self.step is not None:
+            parts.append(f"step={self.step}")
+        if self.op is not None:
+            parts.append(f"op={self.op}")
+        if self.stage is not None:
+            parts.append(f"stage={self.stage}")
+        if self.action == "delay":
+            parts.append(f"ms={self.ms:g}")
+        if self.run:
+            parts.append(f"run={self.run}")
+        return ":".join(parts)
+
+
+def _parse_spec(text: str) -> FaultSpec:
+    parts = [part.strip() for part in text.split(":") if part.strip()]
+    if not parts:
+        raise ValueError("empty fault spec")
+    action, fields = parts[0], {}
+    for part in parts[1:]:
+        key, sep, value = part.partition("=")
+        key = key.strip()
+        if not sep or not value.strip():
+            raise ValueError(
+                f"malformed fault field {part!r} in {text!r}; expected key=value"
+            )
+        if key in fields:
+            raise ValueError(f"duplicate fault field {key!r} in {text!r}")
+        fields[key] = value.strip()
+    unknown = set(fields) - {"rank", "step", "op", "stage", "ms", "run"}
+    if unknown:
+        raise ValueError(
+            f"unknown fault field(s) {sorted(unknown)} in {text!r}; expected "
+            "rank/step/op/stage/ms/run"
+        )
+    if "rank" not in fields:
+        raise ValueError(f"fault spec {text!r} needs rank=<R>")
+    try:
+        return FaultSpec(
+            action=action,
+            rank=int(fields["rank"]),
+            step=int(fields["step"]) if "step" in fields else None,
+            op=fields.get("op"),
+            stage=fields.get("stage"),
+            ms=float(fields["ms"]) if "ms" in fields else 0.0,
+            run=int(fields["run"]) if "run" in fields else 0,
+        )
+    except ValueError:
+        raise
+    except Exception as exc:  # int()/float() type noise -> uniform error
+        raise ValueError(f"malformed fault spec {text!r}: {exc}") from exc
+
+
+class FaultPlan:
+    """A parsed ``--fault-plan``: fault specs plus the run-binding cursor.
+
+    The plan is stateful in exactly one way: :meth:`bind_next_run` hands out
+    the faults of run 0, then run 1, ... — one call per ``spmd_run`` the
+    owner launches — so each spec's ``run`` criterion resolves against a
+    stable per-pipeline launch ordinal (retries bind fresh ordinals and are
+    therefore fault-free unless the plan targets them explicitly).
+    """
+
+    def __init__(self, specs: tuple[FaultSpec, ...] | list[FaultSpec]):
+        self.specs: tuple[FaultSpec, ...] = tuple(specs)
+        self._next_run = 0
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse a ``;``-separated fault plan (grammar in the module docs)."""
+        specs = [_parse_spec(chunk) for chunk in text.split(";") if chunk.strip()]
+        if not specs:
+            raise ValueError(f"fault plan {text!r} contains no fault specs")
+        return cls(specs)
+
+    @property
+    def has_kill(self) -> bool:
+        return any(spec.action == "kill" for spec in self.specs)
+
+    def bind_next_run(self) -> "RunFaults | None":
+        """The faults of the next launch ordinal (None when it has none)."""
+        ordinal = self._next_run
+        self._next_run = ordinal + 1
+        bound = tuple(spec for spec in self.specs if spec.run == ordinal)
+        return RunFaults(bound) if bound else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan({'; '.join(s.describe() for s in self.specs)!r})"
+
+
+@dataclass(frozen=True)
+class RunFaults:
+    """The faults bound to one ``spmd_run`` launch (picklable: pooled jobs
+    carry it across the job queue to long-forked workers)."""
+
+    specs: tuple[FaultSpec, ...]
+
+    @property
+    def has_kill(self) -> bool:
+        return any(spec.action == "kill" for spec in self.specs)
+
+    def injector(self, rank: int) -> "FaultInjector | None":
+        """This rank's injector (None when no spec targets the rank)."""
+        mine = tuple(spec for spec in self.specs if spec.rank == rank)
+        return FaultInjector(rank, mine) if mine else None
+
+
+class FaultInjector:
+    """Per-rank trigger: counts collectives and fires matching fault specs."""
+
+    def __init__(self, rank: int, specs: tuple[FaultSpec, ...]):
+        self.rank = rank
+        self._specs = specs
+        self._fired = [False] * len(specs)
+        self._step = 0
+
+    def before_op(self, op_name: str, phase: str) -> None:
+        """Called once per user-level collective, before any engine traffic.
+
+        Firing *before* the engine is touched keeps the failure point clean:
+        a killed rank has not yet written this superstep's shared-memory
+        segment, so recovery only has to reclaim the peers' halves.
+        """
+        step = self._step
+        self._step += 1
+        for index, spec in enumerate(self._specs):
+            if self._fired[index] or not spec.matches(op_name, phase, step):
+                continue
+            self._fired[index] = True
+            self._trigger(spec, op_name, step)
+
+    def _trigger(self, spec: FaultSpec, op_name: str, step: int) -> None:
+        if spec.action == "delay":
+            time.sleep(spec.ms / 1000.0)
+            return
+        if spec.action == "exit":
+            raise InjectedFaultError(
+                f"injected fault [{spec.describe()}] on rank {self.rank} at "
+                f"superstep {step} ({op_name})"
+            )
+        # kill: die exactly as an OOM-killed / crashed worker would — no
+        # exception propagation, no cleanup, no report to the parent.
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def resolve_run_faults(
+    faults: "str | FaultPlan | RunFaults | None",
+) -> "RunFaults | None":
+    """Normalise ``spmd_run``'s ``faults`` argument to bound run faults.
+
+    A string parses as a one-shot plan and binds its first run; a
+    :class:`FaultPlan` binds its next run ordinal; :class:`RunFaults` passes
+    through (empty -> None).
+    """
+    if faults is None:
+        return None
+    if isinstance(faults, str):
+        faults = FaultPlan.parse(faults)
+    if isinstance(faults, FaultPlan):
+        return faults.bind_next_run()
+    if isinstance(faults, RunFaults):
+        return faults if faults.specs else None
+    raise TypeError(
+        f"faults must be a plan string, FaultPlan or RunFaults, "
+        f"not {type(faults).__name__}"
+    )

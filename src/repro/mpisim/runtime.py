@@ -25,6 +25,7 @@ from typing import Any, Callable
 
 from repro.mpisim.backend import RuntimeBackend, resolve_backend
 from repro.mpisim.errors import RankFailedError, SPMDError
+from repro.mpisim.faults import FaultPlan, RunFaults, resolve_run_faults
 from repro.mpisim.sanitize import sanitize_default
 from repro.mpisim.topology import Topology
 from repro.mpisim.tracing import CommTrace
@@ -41,6 +42,7 @@ def spmd_run(
     backend: str | RuntimeBackend | None = None,
     pool: bool = False,
     sanitize: bool | None = None,
+    faults: str | FaultPlan | RunFaults | None = None,
     **kwargs: Any,
 ) -> list[Any]:
     """Run *fn* as an SPMD program over *n_ranks* simulated ranks.
@@ -79,6 +81,13 @@ def spmd_run(
         ``None`` (default) follows the ``DIBELLA_SANITIZE`` environment
         variable.  Checks are observation-only on the happy path: sanitized
         runs produce bit-identical results and traces.
+    faults:
+        Deterministic fault plan for this run (see
+        :mod:`repro.mpisim.faults`): a plan string
+        (``"kill:rank=2:step=3"``), a :class:`FaultPlan` (its next run
+        ordinal is bound), or already-bound :class:`RunFaults`.  ``kill``
+        faults require the process backend — threads share this process, so
+        the thread backend rejects kill plans with a :class:`ValueError`.
 
     Returns
     -------
@@ -99,5 +108,17 @@ def spmd_run(
     if sanitize is None:
         sanitize = sanitize_default()
     runtime = resolve_backend(backend, pool=pool)
+    run_faults = resolve_run_faults(faults)
+    if run_faults is not None:
+        if run_faults.has_kill and runtime.name == "thread":
+            raise ValueError(
+                "the thread backend cannot inject 'kill' faults: ranks are "
+                "threads of this process, so killing one would kill the "
+                "whole run — use backend='process' (or an 'exit' fault)"
+            )
+        # Passed only when present so ready-made RuntimeBackend doubles
+        # without the parameter keep working.
+        return runtime.run(n_ranks, fn, args, kwargs, topology, trace,
+                           sanitize=sanitize, faults=run_faults)
     return runtime.run(n_ranks, fn, args, kwargs, topology, trace,
                        sanitize=sanitize)

@@ -13,7 +13,12 @@ def test_fig12_exchange_efficiency(benchmark, harness):
                           title="Figure 12 (solid): overall efficiency")
             + "\n"
             + format_series(rows, x="nodes", y="exchange_efficiency", group="platform",
-                            title="Figure 12 (dashed): exchange efficiency"))
+                            title="Figure 12 (dashed): exchange efficiency")
+            + "\n"
+            + format_series(rows, x="nodes", y="hier_exchange_speedup",
+                            group="platform",
+                            title="Figure 12 (what-if): flat/hier exchange-time "
+                                  "ratio at 2 rank groups"))
     record_rows("fig12_exchange_efficiency", text)
     largest = max(r["nodes"] for r in rows)
     last = {r["platform"]: r for r in rows if r["nodes"] == largest}
@@ -21,5 +26,8 @@ def test_fig12_exchange_efficiency(benchmark, harness):
     # efficiency, and the commodity AWS network fares worst.
     for platform, row in last.items():
         assert row["exchange_efficiency"] < row["overall_efficiency"]
+        # The two-level what-if trades O(R) per-call segments for O(G + R/G)
+        # at unchanged volume, so at scale it must project a net win.
+        assert row["hier_exchange_speedup"] > 1.0
     assert last["aws"]["exchange_efficiency"] == min(
         r["exchange_efficiency"] for r in last.values())

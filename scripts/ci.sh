@@ -8,7 +8,7 @@
 #           companion pass (pinned ruff.toml) when a ruff binary is on
 #           PATH (the container does not ship one, so it is gated).
 #   fast  — unit tests only (-m "not slow"), a few seconds; run on every change.
-#           Runs five times: under the default thread backend, under the
+#           Runs eight times: under the default thread backend, under the
 #           multiprocess shared-memory backend (DIBELLA_BACKEND=process),
 #           under the process backend with the persistent rank pool
 #           (DIBELLA_POOL=1) so pooled engine reuse is exercised suite-wide,
@@ -16,12 +16,15 @@
 #           the ASCII read-exchange fallback stays exercised, with
 #           double buffering disabled (DIBELLA_DOUBLE_BUFFER=0) so every
 #           stage's bulk-synchronous superstep schedule stays exercised,
-#           and with the minimizer seed mode (DIBELLA_SEED_MODE=minimizer)
+#           with the minimizer seed mode (DIBELLA_SEED_MODE=minimizer)
 #           so the windowed-sketch front-end of stages 1-3 is exercised
-#           suite-wide.  A seventh pass runs with the runtime sanitizer
-#           armed (DIBELLA_SANITIZE=1): collective congruence checks,
-#           split-phase lifecycle guards and the hang watchdog across the
-#           whole fast tier, proving the checks are observation-only.
+#           suite-wide, and with the hierarchical two-level collectives
+#           (DIBELLA_COLLECTIVE=hier) so every alltoallv in the suite rides
+#           the gather/leader-exchange/scatter protocol.  An eighth pass
+#           runs with the runtime sanitizer armed (DIBELLA_SANITIZE=1):
+#           collective congruence checks, split-phase lifecycle guards and
+#           the hang watchdog across the whole fast tier, proving the
+#           checks are observation-only.
 #   serve — build/serve smoke (scripts/serve_smoke.py): build a resident
 #           index on a pooled process backend, drain two query batches,
 #           assert zero rebuild counters.  Pure counter checks, runs on
@@ -36,10 +39,14 @@
 #           enough cores — the serve-latency gate: warm query-batch p99
 #           well under the cold one-shot wall, zero rebuilds always
 #           asserted — the wire-packing byte gate: packed alignment
-#           read payload <= 0.3x raw, always enforced — and the seed-sketch
+#           read payload <= 0.3x raw, always enforced — the seed-sketch
 #           ablation gate: minimizer mode at w=11 must cut stage 1-3 k-mer
 #           bytes >= 3x and the retained-table peak >= 2x at >= 95% recall
-#           of the baseline's true overlaps, enforced on >= 4-core hosts).
+#           of the baseline's true overlaps, enforced on >= 4-core hosts —
+#           and the hier-collective gate: flat-vs-hier bit identity, the
+#           exact leader-protocol segment drop and cross-group byte
+#           equality always asserted, the projected exposed-exchange win
+#           on the grouped Cori deployment enforced on >= 4-core hosts).
 #
 # Usage:
 #   scripts/ci.sh          # everything (the tier-1 gate plus the perf gates)
@@ -80,6 +87,9 @@ DIBELLA_DOUBLE_BUFFER=0 python -m pytest tests -m "not slow" -q
 
 echo "== fast tier: unit tests (minimizer seed mode, DIBELLA_SEED_MODE=minimizer) =="
 DIBELLA_SEED_MODE=minimizer python -m pytest tests -m "not slow" -q
+
+echo "== fast tier: unit tests (hierarchical collectives, DIBELLA_COLLECTIVE=hier) =="
+DIBELLA_COLLECTIVE=hier python -m pytest tests -m "not slow" -q
 
 echo "== fast tier: unit tests (runtime sanitizer armed, DIBELLA_SANITIZE=1) =="
 DIBELLA_SANITIZE=1 python -m pytest tests -m "not slow" -q

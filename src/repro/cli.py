@@ -103,6 +103,22 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--backend", choices=["thread", "process"], default=None,
                      help="SPMD runtime backend: threads (default) or one process "
                           "per rank exchanging typed buffers via shared memory")
+    run.add_argument("--collective", choices=["flat", "hier"], default=None,
+                     help="all-to-all layout: 'flat' publishes one segment per "
+                          "rank pair (the paper's O(R^2) pattern); 'hier' runs "
+                          "gather-to-leader -> leader-to-leader -> scatter over "
+                          "rank groups, cutting cross-group segments to O(G^2) "
+                          "(see docs/topology.md; output is bit-identical; "
+                          "DIBELLA_COLLECTIVE has the same effect)")
+    run.add_argument("--rank-groups", type=int, default=None,
+                     help="rank-group count G of --collective hier; 0 (the "
+                          "default) auto-detects one group per physical CPU "
+                          "socket (DIBELLA_RANK_GROUPS has the same effect)")
+    run.add_argument("--pin-ranks", action="store_true", default=None,
+                     help="pin each process-backend rank worker to a core of "
+                          "its group via sched_setaffinity; graceful no-op "
+                          "where affinity is restricted (DIBELLA_PIN_RANKS=1 "
+                          "has the same effect)")
     run.add_argument("--exchange-chunk-mb", type=float, default=None,
                      help="per-rank wire budget (MiB) of each overlap-exchange "
                           "superstep; 0 disables chunking (one monolithic "
@@ -172,6 +188,16 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--nodes", type=int, default=1)
     serve.add_argument("--ranks-per-node", type=int, default=2)
     serve.add_argument("--backend", choices=["thread", "process"], default=None)
+    serve.add_argument("--collective", choices=["flat", "hier"], default=None,
+                       help="all-to-all layout for every build/query run "
+                            "(see docs/topology.md; DIBELLA_COLLECTIVE has "
+                            "the same effect)")
+    serve.add_argument("--rank-groups", type=int, default=None,
+                       help="rank-group count of --collective hier; 0 = auto "
+                            "(DIBELLA_RANK_GROUPS has the same effect)")
+    serve.add_argument("--pin-ranks", action="store_true", default=None,
+                       help="pin process-backend rank workers to their group's "
+                            "cores (DIBELLA_PIN_RANKS=1 has the same effect)")
     serve.add_argument("--hash-shards", type=int, default=None)
     serve.add_argument("--seed-mode", choices=["reliable", "minimizer"], default=None,
                        help="seeding front-end; the index build and every "
@@ -220,6 +246,16 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--nodes", type=int, default=1)
     query.add_argument("--ranks-per-node", type=int, default=2)
     query.add_argument("--backend", choices=["thread", "process"], default=None)
+    query.add_argument("--collective", choices=["flat", "hier"], default=None,
+                       help="all-to-all layout for the build and the batch "
+                            "(see docs/topology.md; DIBELLA_COLLECTIVE has "
+                            "the same effect)")
+    query.add_argument("--rank-groups", type=int, default=None,
+                       help="rank-group count of --collective hier; 0 = auto "
+                            "(DIBELLA_RANK_GROUPS has the same effect)")
+    query.add_argument("--pin-ranks", action="store_true", default=None,
+                       help="pin process-backend rank workers to their group's "
+                            "cores (DIBELLA_PIN_RANKS=1 has the same effect)")
     query.add_argument("--hash-shards", type=int, default=None)
     query.add_argument("--seed-mode", choices=["reliable", "minimizer"], default=None,
                        help="seeding front-end; the index build and the query "
@@ -246,6 +282,19 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("platforms", help="print the Table 1 platform registry")
     return parser
+
+
+def _fold_collective_args(config: PipelineConfig,
+                          args: argparse.Namespace) -> PipelineConfig:
+    """Apply the shared collective-layout / placement flags to *config*."""
+    if getattr(args, "collective", None) is not None:
+        config = config.with_collective(args.collective)
+    if getattr(args, "rank_groups", None) is not None:
+        config = config.with_rank_groups(
+            args.rank_groups if args.rank_groups != 0 else None)
+    if getattr(args, "pin_ranks", None):
+        config = config.with_pin_ranks(True)
+    return config
 
 
 def _resolve_strategy(name: str, k: int) -> SeedStrategy:
@@ -330,6 +379,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.seed_mode is not None or args.minimizer_window is not None:
         config = config.with_seed_mode(args.seed_mode or config.seed_mode,
                                        args.minimizer_window)
+    config = _fold_collective_args(config, args)
     if args.fault_plan is not None:
         # Fold the backend override in first: kill-plan validation depends
         # on it (kill faults are rejected on the thread backend).
@@ -373,6 +423,7 @@ def _serve_config(args: argparse.Namespace) -> PipelineConfig:
     if args.seed_mode is not None or args.minimizer_window is not None:
         config = config.with_seed_mode(args.seed_mode or config.seed_mode,
                                        args.minimizer_window)
+    config = _fold_collective_args(config, args)
     if getattr(args, "sanitize", None):
         config = config.with_sanitize(True)
     if getattr(args, "fault_plan", None) is not None:

@@ -23,6 +23,7 @@ Table 1 platforms.
 
 from __future__ import annotations
 
+import os
 import threading
 from dataclasses import dataclass, field
 
@@ -924,6 +925,57 @@ def alignment_stage(comm: SimCommunicator, state: _RankState) -> BatchAligner:
 
 
 # ---------------------------------------------------------------------------
+# Rank placement: core pinning + hierarchical-exchange accounting
+# ---------------------------------------------------------------------------
+
+def _apply_rank_pinning(comm: SimCommunicator, counters: dict[str, int]) -> None:
+    """Pin this rank's worker to its assigned core (graceful no-op).
+
+    Only acts when the run topology carries a pin map — the pipeline
+    attaches one only for ``pin_ranks`` on the **process** backend, where
+    each rank is its own process so ``os.sched_setaffinity`` binds exactly
+    one rank (pinning a thread-backend rank would pin the whole
+    interpreter).  A restricted cgroup mask or a platform without affinity
+    control counts ``rank_pins_skipped`` instead of failing the run.
+    Pooled workers keep the affinity across parked runs; the next pinned
+    run simply re-applies it.
+    """
+    pins = comm.topology.pin_cores
+    if pins is None:
+        return
+    try:
+        os.sched_setaffinity(0, {pins[comm.rank]})
+    except (AttributeError, OSError):
+        counters["rank_pins_skipped"] = counters.get("rank_pins_skipped", 0) + 1
+        return
+    counters["ranks_pinned"] = counters.get("ranks_pinned", 0) + 1
+
+
+def _fold_hier_counters(comm: SimCommunicator, counters: dict[str, int]) -> None:
+    """Fold the communicator's hierarchical-exchange stats into the report.
+
+    Only hierarchical runs (a topology with a group map) write these keys,
+    so flat runs' counter dicts are untouched.  The byte counters are exact
+    functions of the logical send lists (``payload_nbytes`` sums), hence
+    identical across backends, schedules and chunk sizes; the leader
+    aggregation time is wall clock, folded as its ceiling in whole seconds
+    so the aggregate stays deterministic — exactly 1 per group leader, 0 on
+    every other rank.
+    """
+    if comm.topology.groups is None:
+        return
+    stats = comm.hier_stats
+    counters["intragroup_bytes"] = (
+        counters.get("intragroup_bytes", 0) + int(stats["intragroup_bytes"]))
+    counters["intergroup_bytes"] = (
+        counters.get("intergroup_bytes", 0) + int(stats["intergroup_bytes"]))
+    if stats["leader_seconds"] > 0:
+        counters["leader_aggregation_seconds"] = (
+            counters.get("leader_aggregation_seconds", 0)
+            + int(np.ceil(stats["leader_seconds"])))
+
+
+# ---------------------------------------------------------------------------
 # The full per-rank program
 # ---------------------------------------------------------------------------
 
@@ -977,11 +1029,13 @@ def run_rank_pipeline(
         high_freq_threshold=high_freq_threshold,
         read_cache=_acquire_read_cache(cache_tag, comm.rank),
     )
+    _apply_rank_pinning(comm, state.counters)
 
     bloom_filter_stage(comm, state)
     hash_table_stage(comm, state)
     overlap_stage(comm, state)
     alignment_stage(comm, state)
+    _fold_hier_counters(comm, state.counters)
 
     accepted = getattr(state, "_accepted")
     return RankReport(
@@ -1169,9 +1223,11 @@ def run_index_build(
         high_freq_threshold=high_freq_threshold,
         read_cache=_acquire_read_cache(cache_tag, comm.rank),
     )
+    _apply_rank_pinning(comm, state.counters)
     index = _index_hash_table(comm, state)
     _store_resident_index(index_tag, comm.rank, index)
     _index_report_counters(state, index)
+    _fold_hier_counters(comm, state.counters)
     return _empty_rank_report(comm, state)
 
 
@@ -1236,6 +1292,7 @@ def run_query_batch(
         high_freq_threshold=high_freq_threshold,
         read_cache=cache,
     )
+    _apply_rank_pinning(comm, state.counters)
 
     route_timer = state.timer("query_route")
     comm.set_phase("query_route_exchange")
@@ -1445,6 +1502,7 @@ def run_query_batch(
 
     # -- stage Q3: the unmodified two-hop fetch + alignment -----------------
     alignment_stage(comm, state)
+    _fold_hier_counters(comm, state.counters)
 
     accepted = getattr(state, "_accepted")
     return RankReport(

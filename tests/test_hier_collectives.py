@@ -1,0 +1,282 @@
+"""Hierarchical two-level collectives: bit parity with the flat engine.
+
+The hierarchy (``--collective hier``, ``docs/topology.md``) is a pure
+transport rearrangement — gather-to-leader, leader-to-leader, intra-group
+scatter — so every observable except the schedule-flag counters must be
+bit-identical to the flat single-level engine: collective results at the
+communicator level (fast tier), and the full pipeline's tables, counters and
+serve-phase batches across backends, pooling and buffering (slow tier).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DibellaPipeline, PipelineConfig
+from repro.core.counters import SCHEDULE_FLAG_COUNTERS
+from repro.core.stages import reset_persistent_read_caches, reset_resident_indexes
+from repro.mpisim.backend import shutdown_rank_pools
+from repro.mpisim.collectives import pack_segments, unpack_segments
+from repro.mpisim.runtime import spmd_run
+from repro.mpisim.topology import Topology
+from repro.mpisim.tracing import CommTrace
+from repro.seq.kmer import KmerSpec
+from repro.seq.records import ReadSet
+
+RANKS = 4
+
+
+class TestPackSegments:
+    def test_homogeneous_roundtrip_bit_exact(self):
+        segments = [np.arange(5, dtype=np.int64),
+                    np.empty(0, dtype=np.int64),
+                    np.array([7, -3], dtype=np.int64)]
+        packed = pack_segments(segments)
+        assert isinstance(packed, tuple) and len(packed) == 3
+        restored = unpack_segments(packed)
+        assert len(restored) == 3
+        for original, back in zip(segments, restored):
+            assert back.dtype == original.dtype
+            np.testing.assert_array_equal(back, original)
+
+    def test_trailing_shape_preserved(self):
+        segments = [np.arange(6, dtype=np.uint32).reshape(3, 2),
+                    np.arange(2, dtype=np.uint32).reshape(1, 2)]
+        restored = unpack_segments(pack_segments(segments))
+        assert restored[0].shape == (3, 2)
+        assert restored[1].shape == (1, 2)
+
+    def test_mixed_dtypes_fall_back_to_list(self):
+        segments = [np.arange(3, dtype=np.int64), np.arange(3, dtype=np.int32)]
+        packed = pack_segments(segments)
+        assert isinstance(packed, list)
+        assert unpack_segments(packed) == segments
+
+    def test_non_array_entries_fall_back(self):
+        segments = [np.arange(3), None, "reads"]
+        packed = pack_segments(segments)
+        assert isinstance(packed, list)
+
+    def test_empty_list(self):
+        assert pack_segments([]) == []
+        assert unpack_segments([]) == []
+
+
+def _alltoallv_program(comm):
+    """One irregular exchange with per-pair distinguishable payloads."""
+    send = [np.arange(comm.rank + d + 1, dtype=np.int64) + 100 * comm.rank + d
+            for d in range(comm.size)]
+    received = comm.alltoallv(send)
+    return [np.asarray(r).tolist() for r in received]
+
+
+def _split_phase_program(comm):
+    """Two overlapping split-phase exchanges, as a chunked stage issues them."""
+    out = []
+    handle = None
+    for chunk in range(3):
+        send = [np.full(chunk + 1, 10 * comm.rank + d, dtype=np.int64)
+                for d in range(comm.size)]
+        next_handle = comm.alltoallv_start(send)
+        if handle is not None:
+            out.append([np.asarray(r).tolist()
+                        for r in comm.alltoallv_finish(handle)])
+        handle = next_handle
+    out.append([np.asarray(r).tolist() for r in comm.alltoallv_finish(handle)])
+    return out
+
+
+def _object_program(comm):
+    """Non-array payloads ride the hier hops through the list fallback."""
+    send = [[f"{comm.rank}->{d}"] * (d + 1) for d in range(comm.size)]
+    return comm.alltoallv(send)
+
+
+def _grouped(n_ranks: int, n_groups: int) -> Topology:
+    return Topology.single_node(n_ranks).with_groups(n_groups)
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+class TestHierExchangeParity:
+    def test_alltoallv_matches_flat(self, backend):
+        flat = spmd_run(RANKS, _alltoallv_program, backend=backend)
+        hier = spmd_run(RANKS, _alltoallv_program, backend=backend,
+                        topology=_grouped(RANKS, 2))
+        assert hier == flat
+
+    def test_split_phase_matches_flat(self, backend):
+        flat = spmd_run(RANKS, _split_phase_program, backend=backend)
+        hier = spmd_run(RANKS, _split_phase_program, backend=backend,
+                        topology=_grouped(RANKS, 2))
+        assert hier == flat
+
+    def test_object_payloads_match_flat(self, backend):
+        flat = spmd_run(RANKS, _object_program, backend=backend)
+        hier = spmd_run(RANKS, _object_program, backend=backend,
+                        topology=_grouped(RANKS, 2))
+        assert hier == flat
+
+    def test_degenerate_group_counts(self, backend):
+        flat = spmd_run(RANKS, _alltoallv_program, backend=backend)
+        # One group: a single gather/scatter domain, no leader-to-leader hop.
+        assert spmd_run(RANKS, _alltoallv_program, backend=backend,
+                        topology=_grouped(RANKS, 1)) == flat
+        # Every rank its own leader: all traffic rides the cross-group hop.
+        assert spmd_run(RANKS, _alltoallv_program, backend=backend,
+                        topology=_grouped(RANKS, RANKS)) == flat
+
+    def test_sanitizer_clean_under_hier(self, backend):
+        hier = spmd_run(RANKS, _alltoallv_program, backend=backend,
+                        topology=_grouped(RANKS, 2), sanitize=True)
+        assert hier == spmd_run(RANKS, _alltoallv_program, backend=backend)
+
+
+class TestHierTraceAccounting:
+    def test_call_ordinals_match_flat(self):
+        flat_trace, hier_trace = CommTrace(RANKS), CommTrace(RANKS)
+        spmd_run(RANKS, _alltoallv_program, trace=flat_trace)
+        spmd_run(RANKS, _alltoallv_program, trace=hier_trace,
+                 topology=_grouped(RANKS, 2))
+        # One logical call ordinal per exchange, same as flat: the hops do
+        # not inflate the first-Alltoallv accounting or the per-phase calls.
+        assert (hier_trace.snapshot()["alltoallv_calls"]
+                == flat_trace.snapshot()["alltoallv_calls"])
+        for phase in flat_trace.phases():
+            assert (hier_trace.phase_traffic(phase).collective_calls
+                    == flat_trace.phase_traffic(phase).collective_calls)
+
+    def test_segments_follow_leader_protocol(self):
+        topology = _grouped(RANKS, 2)
+        trace = CommTrace(RANKS)
+        spmd_run(RANKS, _alltoallv_program, trace=trace, topology=topology)
+        messages = trace.phase_traffic("default").messages
+        cross = topology.intergroup_mask()
+        # Only the leader pair crosses groups, regardless of rank count.
+        assert messages[cross].sum() == topology.n_groups * (topology.n_groups - 1)
+        # Non-leader ranks talk to their leader only.
+        leaders = set(topology.group_leaders)
+        for rank in range(RANKS):
+            if rank in leaders:
+                continue
+            sent_to = set(np.nonzero(messages[rank])[0].tolist())
+            assert sent_to == {topology.leader_of(topology.group_of(rank))}
+
+    def test_chunking_leaves_hop_bytes_invariant(self):
+        """Hop byte accounting is linear in the logical payload (docs/topology.md)."""
+        def chunked(comm, rows_per_chunk):
+            rows = np.arange(12, dtype=np.int64).reshape(6, 2)
+            for lo in range(0, 6, rows_per_chunk):
+                comm.alltoallv([rows[lo:lo + rows_per_chunk]] * comm.size)
+
+        totals = []
+        for rows_per_chunk in (6, 2):
+            trace = CommTrace(RANKS)
+            spmd_run(RANKS, chunked, rows_per_chunk, trace=trace,
+                     topology=_grouped(RANKS, 2))
+            totals.append(trace.phase_traffic("default").volume.sum())
+        assert totals[0] == totals[1]
+
+
+def _science(counters: dict[str, int]) -> dict[str, int]:
+    return {k: v for k, v in counters.items() if k not in SCHEDULE_FLAG_COUNTERS}
+
+
+def _cleanup():
+    shutdown_rank_pools()
+    reset_persistent_read_caches()
+    reset_resident_indexes()
+
+
+@pytest.mark.slow
+class TestHierPipelineParityMatrix:
+    """{flat, hier} x {thread, process} x {pool} x {double-buffer}: the
+    collective layout must never change tables, traces or science counters."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_pool_state(self):
+        _cleanup()
+        yield
+        _cleanup()
+
+    @pytest.fixture(scope="class")
+    def reference(self, micro_dataset, micro_config):
+        from repro.core.driver import run_dibella
+
+        return run_dibella(micro_dataset.reads,
+                           config=micro_config.with_backend("thread"),
+                           n_nodes=1, ranks_per_node=RANKS)
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("pool", [False, True])
+    def test_matrix_bit_identical(self, micro_dataset, micro_config, reference,
+                                  backend, pool):
+        from repro.core.driver import run_dibella
+
+        config = (micro_config.with_backend(backend).with_pool(pool)
+                  .with_collective("hier").with_rank_groups(2))
+        result = run_dibella(micro_dataset.reads, config=config,
+                             n_nodes=1, ranks_per_node=RANKS)
+        assert result.overlap_pairs() == reference.overlap_pairs()
+        table, ref_table = result.alignment_table(), reference.alignment_table()
+        for column in ref_table:
+            np.testing.assert_array_equal(table[column], ref_table[column])
+        assert _science(result.counters) == _science(reference.counters)
+        assert result.counters["collective_groups"] == 2
+        assert result.counters["intragroup_bytes"] > 0
+        assert result.counters["intergroup_bytes"] > 0
+
+    @pytest.mark.parametrize("double_buffer", [False, True])
+    def test_double_buffer_bit_identical(self, micro_dataset, micro_config,
+                                         reference, double_buffer):
+        from repro.core.driver import run_dibella
+
+        config = (micro_config.with_backend("process")
+                  .with_double_buffer(double_buffer)
+                  .with_collective("hier").with_rank_groups(2))
+        result = run_dibella(micro_dataset.reads, config=config,
+                             n_nodes=1, ranks_per_node=RANKS)
+        table, ref_table = result.alignment_table(), reference.alignment_table()
+        for column in ref_table:
+            np.testing.assert_array_equal(table[column], ref_table[column])
+        assert _science(result.counters) == _science(reference.counters)
+
+    def test_auto_group_count_runs(self, micro_dataset, micro_config, reference):
+        """rank_groups=None resolves from the host layout and stays bit-exact."""
+        from repro.core.driver import run_dibella
+
+        config = micro_config.with_collective("hier")  # rank_groups=None
+        result = run_dibella(micro_dataset.reads, config=config,
+                             n_nodes=1, ranks_per_node=RANKS)
+        assert 1 <= result.counters["collective_groups"] <= RANKS
+        table, ref_table = result.alignment_table(), reference.alignment_table()
+        for column in ref_table:
+            np.testing.assert_array_equal(table[column], ref_table[column])
+
+
+@pytest.mark.slow
+class TestHierServePhase:
+    """The leader hops must not perturb the build/serve split either."""
+
+    def test_served_batches_match_flat(self, micro_dataset):
+        reads = list(micro_dataset.reads)
+        n_index = (3 * len(reads)) // 4
+        index_reads, queries = ReadSet(reads[:n_index]), ReadSet(reads[n_index:])
+        base = PipelineConfig(kmer=KmerSpec(k=15), coverage_hint=12.0,
+                              error_rate_hint=0.08, backend="process", pool=True)
+        tables = {}
+        for label, config in (("flat", base),
+                              ("hier", base.with_collective("hier")
+                                           .with_rank_groups(2))):
+            try:
+                pipeline = DibellaPipeline(config=config,
+                                           topology=Topology.single_node(RANKS))
+                pipeline.build_index(index_reads)
+                served = pipeline.run_query_batch(queries)
+                tables[label] = served.alignment_table()
+                assert served.counters["index_reuse_hits"] == RANKS
+            finally:
+                _cleanup()
+        for column in tables["flat"]:
+            np.testing.assert_array_equal(tables["hier"][column],
+                                          tables["flat"][column])
